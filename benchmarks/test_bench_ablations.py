@@ -1,0 +1,58 @@
+"""Benchmark: ablation studies (decision overhead, tree shape, domain pivoting).
+
+These back the design choices called out in DESIGN.md: the cost of the
+dynamic decision machinery, the effect of the reduction-tree shape on the
+QR steps, and the stability gain of domain-wide pivot search.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    decision_overhead_ablation,
+    domain_pivoting_ablation,
+    tree_shape_ablation,
+)
+from repro.experiments.common import format_table
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_decision_overhead(benchmark, bench_config):
+    out = benchmark.pedantic(
+        lambda: decision_overhead_ablation(
+            paper_n_tiles=bench_config.paper_n_tiles, paper_tile_size=240
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation — decision-making overhead (alpha = 0 vs HQR, simulated)")
+    print(format_table([out]))
+    # The paper measures ~10-13% overhead; the simulation should land in a
+    # plausible band around it.
+    assert 2.0 < out["overhead_pct"] < 40.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_tree_shapes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: tree_shape_ablation(n_tiles=24, tile_size=240), rounds=1, iterations=1
+    )
+    print("\nAblation — reduction-tree shape (HQR, simulated)")
+    print(format_table(rows))
+    by_name = {r["intra_tree"]: r for r in rows}
+    assert by_name["greedy"]["panel_depth"] < by_name["flat"]["panel_depth"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_domain_pivoting(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: domain_pivoting_ablation(bench_config, samples=bench_config.samples),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation — diagonal-tile vs diagonal-domain pivoting (all-LU runs)")
+    print(format_table(rows))
+    by_variant = {r["pivot_search"]: r for r in rows}
+    assert (
+        by_variant["diagonal domain"]["median_hpl3"]
+        <= by_variant["diagonal tile only"]["median_hpl3"] * 10.0
+    )

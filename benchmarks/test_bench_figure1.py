@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 1 (per-step dynamic dataflow).
+
+Times the construction of the dual-branch task graph of one elimination
+step (backup panel / LU on panel / propagate / LU and QR branches) and
+prints the stage summary and the pruned graph sizes.
+"""
+
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.figure1 import dataflow_edges, figure1_summary
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_step_dataflow(benchmark, bench_config):
+    n_tiles = max(bench_config.n_tiles, 8)
+
+    summary = benchmark(lambda: figure1_summary(n_tiles=n_tiles, grid=bench_config.grid))
+
+    print("\nFigure 1 — dataflow of one elimination step")
+    rows = [{"quantity": k, "value": str(v)} for k, v in summary.items()]
+    print(format_table(rows, ["quantity", "value"]))
+    edges = dataflow_edges(n_tiles=4, max_edges=20)
+    print("control-skeleton edges (4 tiles):")
+    for e in edges:
+        print(f"  {e}")
+    assert summary["lu_branch_tasks"] > 0
+    assert summary["qr_branch_tasks"] > 0
+    assert summary["tasks_if_lu_selected"] < summary["total_tasks_in_graph"]

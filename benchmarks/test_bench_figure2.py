@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Figure 2 (stability / performance / %LU on random matrices).
+
+For each criterion (Max, Sum, MUMPS, random) and a sweep of alpha, plus the
+four baselines, measures the relative HPL3 (vs LUPP) and the %LU steps on
+random matrices, and replays the runs on the simulated Dancer platform to
+obtain normalised GFLOP/s — the three columns of Figure 2.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.figure2 import figure2_rows
+
+COLUMNS = ["label", "N", "relative_hpl3", "lu_steps_pct", "gflops", "peak_pct"]
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("criterion", ["max", "sum", "mumps", "random"])
+def test_figure2_criterion_row(benchmark, bench_config, criterion):
+    rows = benchmark.pedantic(
+        lambda: figure2_rows(
+            bench_config,
+            criteria=[criterion],
+            include_baselines=(criterion == "max"),
+            simulate_performance=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 2 — criterion '{criterion}' (random matrices, N = {bench_config.n_order})")
+    print(format_table(rows, COLUMNS))
+
+    hybrid = [r for r in rows if r["criterion"] == criterion]
+    by_alpha = {r["alpha"]: r for r in hybrid}
+    # More permissive thresholds always take at least as many LU steps.
+    alphas = sorted(a for a in by_alpha if np.isfinite(a))
+    lu_pcts = [by_alpha[a]["lu_steps_pct"] for a in alphas]
+    assert all(b >= a - 1e-9 for a, b in zip(lu_pcts, lu_pcts[1:]))
+    # The GFLOP/s column increases with the fraction of LU steps (Figure 2).
+    if math.inf in by_alpha and 0.0 in by_alpha and "gflops" in by_alpha[math.inf]:
+        assert by_alpha[math.inf]["gflops"] >= by_alpha[0.0]["gflops"]
+    if criterion == "max":
+        nopiv = next(r for r in rows if r["label"] == "LU NoPiv")
+        lupp = next(r for r in rows if r["label"] == "LUPP")
+        assert nopiv["relative_hpl3"] >= lupp["relative_hpl3"]

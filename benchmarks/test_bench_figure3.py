@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 3 (stability on special matrices).
+
+Runs LU NoPiv, the hybrid with random choices, with the Max and MUMPS
+criteria, and HQR on 5 random matrices plus the Table III collection, and
+prints the relative HPL3 (vs LUPP).  The assertions encode the paper's
+qualitative findings: random choices become unstable on special matrices
+while the Max criterion stays within a moderate factor of LUPP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.figure3 import FIGURE3_ALGORITHMS, figure3_rows
+
+COLUMNS = ["matrix", "lupp_hpl3"] + [str(a["label"]) for a in FIGURE3_ALGORITHMS]
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_special_matrix_stability(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: figure3_rows(bench_config, n_random=3, include_fiedler=True),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 3 — relative HPL3 vs LUPP (N = {bench_config.n_order})")
+    print(format_table(rows, COLUMNS))
+
+    def worst(label):
+        vals = [r[label] for r in rows if label in r and np.isfinite(r[label])]
+        return max(vals) if vals else float("inf")
+
+    # The Max criterion stays within a moderate factor of LUPP on every
+    # matrix it can solve; LU NoPiv and the random policy blow up by many
+    # orders of magnitude on at least one special matrix.
+    assert worst("LU NoPiv") > 1e4
+    assert worst("LUQR random") > 1e3
+    special_rows = [r for r in rows if not str(r["matrix"]).startswith("random")]
+    max_on_special = [
+        r["LUQR Max"] for r in special_rows if np.isfinite(r.get("LUQR Max", np.inf))
+    ]
+    assert np.median(max_on_special) < 100.0

@@ -1,0 +1,44 @@
+"""Benchmark: raw factorization throughput of every solver (numerical path).
+
+Not a table/figure of the paper per se, but useful to track the cost of the
+pure-Python kernels themselves: factors the same random matrix with every
+algorithm and reports wall-clock time per factorization.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HQRSolver,
+    HybridLUQRSolver,
+    LUIncPivSolver,
+    LUNoPivSolver,
+    LUPPSolver,
+    MaxCriterion,
+)
+from repro.matrices.random_gen import random_matrix, random_rhs
+
+
+def _solver(name, nb, grid):
+    if name == "LUQR-max":
+        return HybridLUQRSolver(nb, MaxCriterion(50.0), grid=grid, track_growth=False)
+    if name == "LU NoPiv":
+        return LUNoPivSolver(nb, track_growth=False)
+    if name == "LU IncPiv":
+        return LUIncPivSolver(nb, track_growth=False)
+    if name == "LUPP":
+        return LUPPSolver(nb, track_growth=False)
+    return HQRSolver(nb, grid=grid, track_growth=False)
+
+
+@pytest.mark.benchmark(group="solvers")
+@pytest.mark.parametrize("name", ["LUQR-max", "LU NoPiv", "LU IncPiv", "LUPP", "HQR"])
+def test_factorization_throughput(benchmark, bench_config, name):
+    n = bench_config.n_order
+    a = random_matrix(n, seed=1)
+    b = random_rhs(n, seed=2)
+    solver = _solver(name, bench_config.tile_size, bench_config.grid)
+
+    fact = benchmark(lambda: solver.factor(a, b))
+    assert fact.succeeded
+    print(f"\n{name}: {fact.lu_percentage:.1f}% LU steps, {len(fact.steps)} panels, N = {n}")

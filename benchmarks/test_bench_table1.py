@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table I (per-kernel cost of LU vs QR steps).
+
+Times the analytic flop-table construction together with a measured
+cross-check (kernel counts of real LU and QR steps) and prints the table.
+"""
+
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.table1 import measured_kernel_counts, table1_rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_kernel_costs(benchmark):
+    def run():
+        rows = table1_rows(remaining=8)
+        counts = measured_kernel_counts(n_tiles=6, nb=8)
+        return rows, counts
+
+    rows, counts = benchmark(run)
+    print("\nTable I — cost of one elimination step (units of nb^3, 8 remaining tiles)")
+    print(format_table(rows))
+    print(f"measured LU first-step kernels : {counts['lu_first_step']}")
+    print(f"measured QR first-step kernels : {counts['qr_first_step']}")
+    # The QR column must cost roughly twice the LU column.
+    assert rows[-1]["qr_cost_nb3"] == pytest.approx(2.0 * rows[-1]["lu_cost_nb3"], rel=0.1)

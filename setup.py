@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``
+or ``python setup.py develop``) work on machines without the ``wheel``
+package or network access to build isolation dependencies.
+"""
+
+from setuptools import setup
+
+setup()

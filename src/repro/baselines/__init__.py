@@ -1,0 +1,8 @@
+"""Baseline solvers of Section V/VI: LU NoPiv, LU IncPiv, LUPP, HQR."""
+
+from .hqr import HQRSolver
+from .lu_incpiv import LUIncPivSolver
+from .lu_nopiv import LUNoPivSolver
+from .lupp import LUPPSolver
+
+__all__ = ["LUNoPivSolver", "LUIncPivSolver", "LUPPSolver", "HQRSolver"]

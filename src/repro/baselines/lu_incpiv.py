@@ -1,0 +1,89 @@
+"""LU IncPiv baseline: incremental (pairwise) pivoting.
+
+"LU IncPiv performs incremental pairwise pivoting across all tiles in the
+elimination panel (still efficient but not stable either)" (Section V-B,
+after Buttari et al. and Quintana-Orti et al.).  The diagonal tile is
+factored first; then each sub-diagonal tile of the panel is eliminated by a
+*pairwise* LU factorization of the current (triangular) diagonal tile
+stacked on top of it, with pivoting restricted to those ``2 nb`` rows.  The
+trailing tiles of the two rows involved are updated after every pairwise
+elimination (the SSSSM kernel of PLASMA).
+
+Stability degrades as the number of tiles grows because the pairwise
+eliminations compound growth — the behaviour Figure 2 shows for LU IncPiv.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.factorization import StepRecord
+from ..core.solver_base import TiledSolverBase
+from ..kernels.lu_kernels import apply_swptrsm, factor_panel_lu, factor_tile_lu
+from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
+from ..tiles.tile_matrix import TileMatrix
+
+__all__ = ["LUIncPivSolver"]
+
+
+class LUIncPivSolver(TiledSolverBase):
+    """Tiled LU with incremental pairwise pivoting."""
+
+    algorithm = "LU IncPiv"
+
+    def __init__(
+        self,
+        tile_size: int,
+        grid: Optional[ProcessGrid] = None,
+        track_growth: bool = True,
+    ) -> None:
+        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+
+    def _do_step(
+        self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
+    ) -> StepRecord:
+        record = StepRecord(k=k, kind="LU", decision_overhead=False)
+        nb = tiles.nb
+        n = tiles.n
+
+        # ---- Factor the diagonal tile (pivoting inside the tile). -------- #
+        factor = factor_tile_lu(tiles.tile(k, k))
+        record.add_kernel("getrf")
+        # Apply its transformation to the trailing row k and the RHS, then
+        # keep only the triangular factor in the diagonal tile.
+        for j in range(k + 1, n):
+            tiles.set_tile(k, j, apply_swptrsm(factor, tiles.tile(k, j)))
+            record.add_kernel("swptrsm")
+        if tiles.has_rhs:
+            tiles.rhs_tile(k)[...] = apply_swptrsm(factor, tiles.rhs_tile(k))
+            record.add_kernel("swptrsm")
+        tiles.set_tile(k, k, np.triu(factor.lu))
+
+        # ---- Pairwise elimination of every sub-diagonal panel tile. ------ #
+        for i in range(k + 1, n):
+            stacked = np.vstack([np.triu(tiles.tile(k, k)), tiles.tile(i, k)])
+            pair = factor_panel_lu(stacked, nb, recursive=False)
+            record.add_kernel("tstrf")  # PLASMA's pairwise panel kernel
+            tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
+            tiles.set_tile(i, k, pair.lu[nb:])
+            l2 = pair.lu[nb:]
+
+            for j in range(k + 1, n):
+                c = np.vstack([tiles.tile(k, j), tiles.tile(i, j)])
+                c = apply_swptrsm(pair, c)
+                top = c[:nb]
+                bottom = c[nb:] - l2 @ top
+                tiles.set_tile(k, j, top)
+                tiles.set_tile(i, j, bottom)
+                record.add_kernel("ssssm")
+            if tiles.has_rhs:
+                c = np.vstack([tiles.rhs_tile(k), tiles.rhs_tile(i)])
+                c = apply_swptrsm(pair, c)
+                top = c[:nb]
+                bottom = c[nb:] - l2 @ top
+                tiles.rhs_tile(k)[...] = top
+                tiles.rhs_tile(i)[...] = bottom
+                record.add_kernel("ssssm_rhs")
+        return record

@@ -1,0 +1,21 @@
+"""Core hybrid LU-QR algorithm: panel analysis, LU/QR steps, driver, results."""
+
+from .factorization import Factorization, SolveResult, StepRecord
+from .hybrid import HybridLUQRSolver
+from .lu_step import perform_lu_step
+from .panel_analysis import PanelAnalysis, analyze_panel
+from .qr_step import perform_qr_step
+from .solver_base import TiledSolverBase, pad_to_tile_multiple
+
+__all__ = [
+    "HybridLUQRSolver",
+    "TiledSolverBase",
+    "pad_to_tile_multiple",
+    "Factorization",
+    "SolveResult",
+    "StepRecord",
+    "PanelAnalysis",
+    "analyze_panel",
+    "perform_lu_step",
+    "perform_qr_step",
+]

@@ -1,0 +1,411 @@
+"""Build the task graph of a factorization run for performance simulation.
+
+The numerical drivers record, for every elimination step, whether it was an
+LU or a QR step (plus the decision overhead of the hybrid algorithm).  This
+module turns that per-step trace into the full task graph that a PaRSEC-like
+runtime would execute: one task per tile kernel, with data dependencies
+inferred from tile accesses, owners assigned by the 2D block-cyclic
+distribution (owner-computes rule), and Table-I flop counts attached.  The
+discrete-event simulator then schedules that graph on a modelled platform
+to produce the execution times behind Figure 2 and Table II.
+
+Two entry points are provided:
+
+* :func:`build_task_graph` from an explicit :class:`FactorizationSpec`
+  (algorithm, tile counts, per-step kinds) — this allows simulating matrix
+  sizes far larger than what the numerical Python kernels can factor in
+  reasonable time, which is how the Table II rows at N = 20,000 are
+  regenerated;
+* :func:`spec_from_factorization` to derive the spec from an actual
+  numerical run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..kernels.flops import KernelFlops
+from ..runtime.graph import TaskGraph
+from ..runtime.platform import Platform
+from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
+from ..trees.base import ReductionTree
+from ..trees.fibonacci import FibonacciTree
+from ..trees.greedy import GreedyTree
+from ..trees.hierarchical import HierarchicalTree
+from .factorization import Factorization
+from .qr_step import qr_step_operations
+
+__all__ = ["FactorizationSpec", "spec_from_factorization", "build_task_graph"]
+
+
+@dataclass
+class FactorizationSpec:
+    """Everything the DAG builder needs to know about one run.
+
+    Attributes
+    ----------
+    n_tiles:
+        Number of tile rows/columns.
+    tile_size:
+        Tile order ``nb``.
+    step_kinds:
+        ``"LU"`` or ``"QR"`` for each of the ``n_tiles`` steps.
+    algorithm:
+        Algorithm name; drives algorithm-specific overheads
+        (``"LUPP"`` pays panel-wide pivot exchanges, ``"LUQR"`` pays the
+        decision-making overhead, ``"LU IncPiv"`` uses pairwise kernels).
+    decision_overhead:
+        Whether each step pays backup / criterion / propagate (hybrid only).
+    grid:
+        Process grid of the target platform run.
+    """
+
+    n_tiles: int
+    tile_size: int
+    step_kinds: List[str]
+    algorithm: str = "LUQR"
+    decision_overhead: bool = False
+    grid: ProcessGrid = field(default_factory=lambda: ProcessGrid(1, 1))
+    intra_tree: Optional[ReductionTree] = None
+    inter_tree: Optional[ReductionTree] = None
+
+    def __post_init__(self) -> None:
+        if len(self.step_kinds) != self.n_tiles:
+            raise ValueError(
+                f"expected {self.n_tiles} step kinds, got {len(self.step_kinds)}"
+            )
+        for kind in self.step_kinds:
+            if kind not in ("LU", "QR"):
+                raise ValueError(f"invalid step kind {kind!r}")
+
+    @property
+    def lu_fraction(self) -> float:
+        if not self.step_kinds:
+            return 0.0
+        return sum(1 for k in self.step_kinds if k == "LU") / len(self.step_kinds)
+
+
+def spec_from_factorization(
+    fact: Factorization, grid: Optional[ProcessGrid] = None
+) -> FactorizationSpec:
+    """Derive the simulation spec from a numerical factorization."""
+    return FactorizationSpec(
+        n_tiles=fact.tiles.n,
+        tile_size=fact.tiles.nb,
+        step_kinds=fact.step_kinds,
+        algorithm=fact.algorithm,
+        decision_overhead=any(s.decision_overhead for s in fact.steps),
+        grid=grid if grid is not None else ProcessGrid(1, 1),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Builder
+# --------------------------------------------------------------------------- #
+def _memcpy_duration(nbytes: float, bandwidth: float = 5.0e9) -> float:
+    """Duration of a node-local memory copy (backup/restore of the panel)."""
+    return nbytes / bandwidth
+
+
+def build_task_graph(
+    spec: FactorizationSpec, platform: Optional[Platform] = None
+) -> TaskGraph:
+    """Generate the full task graph of a run described by ``spec``.
+
+    ``platform`` is only needed to attach realistic durations to the
+    communication/control tasks (criterion all-reduce, LUPP pivot
+    exchanges); compute kernels carry flop counts and are priced by the
+    simulator itself.
+    """
+    n = spec.n_tiles
+    nb = spec.tile_size
+    grid = spec.grid
+    dist = BlockCyclicDistribution(grid, n)
+    kf = KernelFlops(nb)
+    graph = TaskGraph()
+    intra = spec.intra_tree if spec.intra_tree is not None else GreedyTree()
+    inter = spec.inter_tree if spec.inter_tree is not None else FibonacciTree()
+
+    tile_bytes = 8.0 * nb * nb
+
+    for k, kind in enumerate(spec.step_kinds):
+        domain_rows = dist.diagonal_domain_rows(k)
+        diag_owner = dist.diagonal_owner(k)
+        panel_owners = dist.panel_owners(k)
+        control_deps: List[int] = []
+
+        # ---------------- decision-making overhead (hybrid only) ---------- #
+        if spec.decision_overhead:
+            backup = graph.add_task(
+                kernel="panel_backup",
+                step=k,
+                reads={(i, k) for i in domain_rows},
+                owner=diag_owner,
+                critical=True,
+                duration_hint=_memcpy_duration(len(domain_rows) * tile_bytes),
+            )
+            d = len(domain_rows)
+            panel_getrf_flops = d * nb * nb * nb - nb**3 / 3.0
+            panel_getrf = graph.add_task(
+                kernel="getrf",
+                step=k,
+                reads={(i, k) for i in domain_rows},
+                writes={(i, k) for i in domain_rows},
+                owner=diag_owner,
+                flops=panel_getrf_flops,
+                critical=True,
+                extra_deps=[backup.uid],
+            )
+            criterion_inputs = [panel_getrf.uid]
+            for rank in panel_owners:
+                if rank == diag_owner:
+                    continue
+                local = graph.add_task(
+                    kernel="criterion_local",
+                    step=k,
+                    reads={(i, k) for i in dist.domain_rows(k, rank)},
+                    owner=rank,
+                    flops=len(dist.domain_rows(k, rank)) * kf.tile_norm,
+                )
+                criterion_inputs.append(local.uid)
+            allreduce_duration = (
+                platform.allreduce_time(len(panel_owners), 8.0 * nb)
+                if platform is not None
+                else 0.0
+            )
+            allreduce = graph.add_task(
+                kernel="criterion_allreduce",
+                step=k,
+                owner=diag_owner,
+                critical=True,
+                duration_hint=allreduce_duration,
+                extra_deps=criterion_inputs,
+            )
+            control_deps = [allreduce.uid]
+            if kind == "QR":
+                restore = graph.add_task(
+                    kernel="panel_restore",
+                    step=k,
+                    writes={(i, k) for i in domain_rows},
+                    owner=diag_owner,
+                    critical=True,
+                    duration_hint=_memcpy_duration(len(domain_rows) * tile_bytes),
+                    extra_deps=control_deps,
+                )
+                control_deps = [restore.uid]
+
+        # ---------------- LUPP panel-wide pivoting ------------------------ #
+        if spec.algorithm == "LUPP":
+            pivot_duration = (
+                platform.pivot_exchange_time(len(panel_owners), nb)
+                if platform is not None
+                else 0.0
+            )
+            pivot = graph.add_task(
+                kernel="panel_pivot_exchange",
+                step=k,
+                reads={(i, k) for i in range(k, n)},
+                writes={(i, k) for i in range(k, n)},
+                owner=diag_owner,
+                critical=True,
+                duration_hint=pivot_duration,
+            )
+            control_deps = control_deps + [pivot.uid]
+
+        if kind == "LU":
+            _add_lu_step(graph, dist, k, n, kf, spec, control_deps)
+        else:
+            tree = HierarchicalTree(
+                distribution=dist, intra_tree=intra, inter_tree=inter, step=k
+            )
+            elims = tree.eliminations_for_step(k, list(range(k, n)))
+            _add_qr_step(graph, dist, k, n, kf, elims, control_deps)
+
+    return graph
+
+
+def _add_lu_step(
+    graph: TaskGraph,
+    dist: BlockCyclicDistribution,
+    k: int,
+    n: int,
+    kf: KernelFlops,
+    spec: FactorizationSpec,
+    control_deps: Sequence[int],
+) -> None:
+    """Tasks of one LU step (variant A1)."""
+    nb = kf.nb
+    diag_owner = dist.diagonal_owner(k)
+    pairwise = spec.algorithm == "LU IncPiv"
+
+    if spec.decision_overhead:
+        # The diagonal factorization was already performed (and charged)
+        # during the decision phase and is reused; add only a zero-cost
+        # anchor so downstream tasks depend on the panel factor.
+        factor = graph.add_task(
+            kernel="propagate",
+            step=k,
+            reads={(k, k)},
+            writes={(k, k)},
+            owner=diag_owner,
+            duration_hint=0.0,
+            extra_deps=control_deps,
+        )
+    else:
+        domain_rows = dist.diagonal_domain_rows(k) if spec.algorithm in ("LUPP",) else [k]
+        d = len(domain_rows)
+        factor = graph.add_task(
+            kernel="getrf",
+            step=k,
+            reads={(i, k) for i in domain_rows},
+            writes={(i, k) for i in domain_rows},
+            owner=diag_owner,
+            flops=d * nb * nb * nb - nb**3 / 3.0,
+            extra_deps=control_deps,
+        )
+
+    if pairwise:
+        # Incremental pairwise pivoting: every sub-diagonal tile is coupled
+        # with the (evolving) diagonal tile, so the panel eliminations and
+        # the row-k updates are serialized through tile (k, k) / (k, j); the
+        # superscalar dependency rules express that automatically via the
+        # read/write sets below.
+        for j in range(k + 1, n):
+            graph.add_task(
+                kernel="swptrsm",
+                step=k,
+                reads={(k, k), (k, j)},
+                writes={(k, j)},
+                owner=dist.owner(k, j),
+                flops=kf.swptrsm,
+                extra_deps=[factor.uid],
+            )
+        for i in range(k + 1, n):
+            graph.add_task(
+                kernel="tstrf",
+                step=k,
+                reads={(k, k), (i, k)},
+                writes={(k, k), (i, k)},
+                owner=dist.owner(i, k),
+                flops=kf.trsm,
+                extra_deps=[factor.uid],
+            )
+            for j in range(k + 1, n):
+                graph.add_task(
+                    kernel="ssssm",
+                    step=k,
+                    reads={(i, k), (k, j), (i, j)},
+                    writes={(k, j), (i, j)},
+                    owner=dist.owner(i, j),
+                    flops=2.0 * nb**3,
+                )
+        return
+
+    eliminate_tasks = {}
+    for i in range(k + 1, n):
+        t = graph.add_task(
+            kernel="trsm",
+            step=k,
+            reads={(k, k), (i, k)},
+            writes={(i, k)},
+            owner=dist.owner(i, k),
+            flops=kf.trsm,
+            extra_deps=[factor.uid],
+        )
+        eliminate_tasks[i] = t.uid
+
+    apply_tasks = {}
+    for j in range(k + 1, n):
+        t = graph.add_task(
+            kernel="swptrsm",
+            step=k,
+            reads={(k, k), (k, j)},
+            writes={(k, j)},
+            owner=dist.owner(k, j),
+            flops=kf.swptrsm,
+            extra_deps=[factor.uid],
+        )
+        apply_tasks[j] = t.uid
+
+    for i in range(k + 1, n):
+        for j in range(k + 1, n):
+            graph.add_task(
+                kernel="gemm",
+                step=k,
+                reads={(i, k), (k, j), (i, j)},
+                writes={(i, j)},
+                owner=dist.owner(i, j),
+                flops=kf.gemm,
+                extra_deps=[eliminate_tasks[i], apply_tasks[j]],
+            )
+
+
+def _add_qr_step(
+    graph: TaskGraph,
+    dist: BlockCyclicDistribution,
+    k: int,
+    n: int,
+    kf: KernelFlops,
+    eliminations,
+    control_deps: Sequence[int],
+) -> None:
+    """Tasks of one QR step following the elimination list."""
+    ops = qr_step_operations(k, n, eliminations)
+    flops_of = {
+        "geqrt": kf.geqrt,
+        "unmqr": kf.unmqr,
+        "tsqrt": kf.tsqrt,
+        "tsmqr": kf.tsmqr,
+        "ttqrt": kf.ttqrt,
+        "ttmqr": kf.ttmqr,
+    }
+    first = True
+    for op in ops:
+        name = op[0]
+        extra = list(control_deps) if first else []
+        first = False
+        if name == "geqrt":
+            _, row = op
+            graph.add_task(
+                kernel="geqrt",
+                step=k,
+                reads={(row, k)},
+                writes={(row, k)},
+                owner=dist.owner(row, k),
+                flops=flops_of[name],
+                extra_deps=extra,
+            )
+        elif name == "unmqr":
+            _, row, j = op
+            graph.add_task(
+                kernel="unmqr",
+                step=k,
+                reads={(row, k), (row, j)},
+                writes={(row, j)},
+                owner=dist.owner(row, j),
+                flops=flops_of[name],
+                extra_deps=extra,
+            )
+        elif name in ("tsqrt", "ttqrt"):
+            _, eliminator, killed = op
+            graph.add_task(
+                kernel=name,
+                step=k,
+                reads={(eliminator, k), (killed, k)},
+                writes={(eliminator, k), (killed, k)},
+                owner=dist.owner(killed, k),
+                flops=flops_of[name],
+                extra_deps=extra,
+            )
+        else:  # tsmqr / ttmqr
+            _, eliminator, killed, j = op
+            graph.add_task(
+                kernel=name,
+                step=k,
+                reads={(eliminator, j), (killed, j), (killed, k)},
+                writes={(eliminator, j), (killed, j)},
+                owner=dist.owner(killed, j),
+                flops=flops_of[name],
+                extra_deps=extra,
+            )

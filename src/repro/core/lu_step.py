@@ -1,0 +1,103 @@
+"""The LU elimination step (variant A1, with diagonal-domain pivoting).
+
+This implements Algorithm 2 of the paper in its experimental variant: the
+panel tiles of the *diagonal domain* are factored together with partial
+pivoting (the pivot search never leaves the node owning the diagonal tile),
+the resulting row permutation is applied to the trailing columns of the
+domain rows, the remaining panel tiles are eliminated with TRSM against
+``U_kk``, and the trailing sub-matrix receives the embarrassingly parallel
+GEMM update ``A_ij <- A_ij - A_ik A_kj``.
+
+The attached right-hand side is updated exactly like an extra trailing
+column, so the factorization directly produces the transformed ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..kernels.lu_kernels import apply_swptrsm, eliminate_trsm
+from ..linalg.pivoting import SingularPanelError
+from ..tiles.tile_matrix import TileMatrix
+from .factorization import StepRecord
+from .panel_analysis import PanelAnalysis
+
+__all__ = ["perform_lu_step"]
+
+
+def perform_lu_step(
+    tiles: TileMatrix,
+    k: int,
+    analysis: PanelAnalysis,
+    record: StepRecord,
+) -> None:
+    """Apply one LU step (variant A1) in place, using a pre-factored panel.
+
+    ``analysis`` must come from :func:`repro.core.panel_analysis.analyze_panel`
+    for the same ``tiles`` and ``k``; its domain factorization is reused (it
+    is *not* recomputed), exactly as in the paper where the factorization
+    performed for the criterion check becomes the factorization of the step
+    when the LU branch is selected.
+    """
+    if analysis.factor is None:
+        raise SingularPanelError(
+            f"diagonal domain of panel {k} is singular; an LU step is impossible"
+        )
+    nb = tiles.nb
+    n = tiles.n
+    domain_rows: List[int] = analysis.domain_rows
+    factor = analysis.factor
+    domain_set = set(domain_rows)
+
+    # ------------------------------------------------------------------ #
+    # Factor: write the packed domain factorization into the panel tiles.
+    # The diagonal tile receives L1\U, the other domain tiles receive their
+    # L blocks (which are exactly the Schur multipliers of those rows).
+    # ------------------------------------------------------------------ #
+    tiles.scatter_panel(k, domain_rows, factor.lu)
+    record.add_kernel("getrf")
+
+    # ------------------------------------------------------------------ #
+    # Apply (SWPTRSM): for each trailing column (and the RHS), permute the
+    # domain rows with the panel pivots and solve the unit-lower system on
+    # the new row k:  A_kj <- L1^{-1} P A_kj.
+    # ------------------------------------------------------------------ #
+    for j in range(k + 1, n):
+        stacked = tiles.panel(j, domain_rows)
+        stacked = apply_swptrsm(factor, stacked)
+        tiles.scatter_panel(j, domain_rows, stacked)
+        record.add_kernel("swptrsm")
+
+    if tiles.has_rhs:
+        stacked_rhs = np.vstack([tiles.rhs_tile(i) for i in domain_rows])
+        stacked_rhs = apply_swptrsm(factor, stacked_rhs)
+        for idx, i in enumerate(domain_rows):
+            tiles.rhs_tile(i)[...] = stacked_rhs[idx * nb : (idx + 1) * nb]
+        record.add_kernel("swptrsm")
+
+    # ------------------------------------------------------------------ #
+    # Eliminate (TRSM): panel tiles outside the diagonal domain become the
+    # Schur multipliers A_ik U_kk^{-1}.  (Domain tiles below the diagonal
+    # already hold their multipliers from the packed factorization.)
+    # ------------------------------------------------------------------ #
+    off_rows = [i for i in range(k + 1, n) if i not in domain_set]
+    for i in off_rows:
+        tiles.set_tile(i, k, eliminate_trsm(factor, tiles.tile(i, k)))
+    # Table I charges one TRSM per sub-diagonal panel tile regardless of
+    # which node performs it.
+    record.add_kernel("trsm", max(n - k - 1, 0))
+
+    # ------------------------------------------------------------------ #
+    # Update (GEMM): A_ij <- A_ij - A_ik A_kj for every trailing tile, plus
+    # the same update of the RHS tiles.
+    # ------------------------------------------------------------------ #
+    for i in range(k + 1, n):
+        multiplier = tiles.tile(i, k)
+        for j in range(k + 1, n):
+            tiles.tile(i, j)[...] -= multiplier @ tiles.tile(k, j)
+            record.add_kernel("gemm")
+        if tiles.has_rhs:
+            tiles.rhs_tile(i)[...] -= multiplier @ tiles.rhs_tile(k)
+            record.add_kernel("gemm_rhs")

@@ -1,0 +1,163 @@
+"""The QR elimination step (hierarchical tiled QR on one panel).
+
+When the robustness criterion rejects an LU step, the panel is eliminated
+with orthogonal transformations following the HQR framework: every
+sub-diagonal tile of the panel is zeroed by an *eliminator* tile according
+to the elimination list produced by a reduction tree (the paper's default
+is a GREEDY tree inside each node and a FIBONACCI tree across nodes).
+
+The driver below walks the elimination list, triangularizing tiles with
+GEQRT/UNMQR on demand, coupling tiles with TSQRT/TSMQR (square victims) or
+TTQRT/TTMQR (triangular victims), and applying every transformation to the
+trailing tiles and to the attached right-hand side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from ..kernels.qr_kernels import geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
+from ..tiles.tile_matrix import TileMatrix
+from ..trees.base import Elimination, validate_eliminations
+from .factorization import StepRecord
+
+__all__ = ["perform_qr_step", "qr_step_operations"]
+
+
+def qr_step_operations(
+    k: int, n: int, eliminations: Sequence[Elimination]
+) -> List[tuple]:
+    """Symbolic kernel sequence of one QR step (no numerics).
+
+    Returns the ordered list of kernel invocations that
+    :func:`perform_qr_step` would execute for the same elimination list,
+    as tuples:
+
+    * ``("geqrt", row)`` and ``("unmqr", row, j)`` — triangularization of a
+      row and the update of its trailing tiles;
+    * ``("tsqrt"|"ttqrt", eliminator, killed)`` — the panel coupling;
+    * ``("tsmqr"|"ttmqr", eliminator, killed, j)`` — the trailing update of
+      the coupled rows at column ``j``.
+
+    The task-graph builder uses this sequence to generate QR-step tasks, and
+    the test suite checks it stays consistent with the numerical driver.
+    """
+    ops: List[tuple] = []
+    triangular: Set[int] = set()
+
+    def triangularize(row: int) -> None:
+        if row in triangular:
+            return
+        ops.append(("geqrt", row))
+        for j in range(k + 1, n):
+            ops.append(("unmqr", row, j))
+        triangular.add(row)
+
+    elims = list(eliminations)
+    if not elims:
+        triangularize(k)
+        return ops
+
+    for e in elims:
+        triangularize(e.eliminator)
+        if e.kind == "TT":
+            triangularize(e.killed)
+            ops.append(("ttqrt", e.eliminator, e.killed))
+            update = "ttmqr"
+        else:
+            ops.append(("tsqrt", e.eliminator, e.killed))
+            update = "tsmqr"
+        for j in range(k + 1, n):
+            ops.append((update, e.eliminator, e.killed, j))
+    if k not in triangular:
+        triangularize(k)
+    return ops
+
+
+def _triangularize_row(
+    tiles: TileMatrix,
+    row: int,
+    k: int,
+    record: StepRecord,
+    triangular: Set[int],
+) -> None:
+    """GEQRT the panel tile of ``row`` and update its trailing tiles (UNMQR)."""
+    if row in triangular:
+        return
+    n = tiles.n
+    factor = geqrt_tile(tiles.tile(row, k))
+    tiles.set_tile(row, k, np.triu(factor.r))
+    record.add_kernel("geqrt")
+    for j in range(k + 1, n):
+        tiles.set_tile(row, j, unmqr(factor, tiles.tile(row, j)))
+        record.add_kernel("unmqr")
+    if tiles.has_rhs:
+        tiles.rhs_tile(row)[...] = unmqr(factor, tiles.rhs_tile(row))
+        record.add_kernel("unmqr_rhs")
+    triangular.add(row)
+
+
+def perform_qr_step(
+    tiles: TileMatrix,
+    k: int,
+    eliminations: Sequence[Elimination],
+    record: StepRecord,
+    validate: bool = True,
+) -> None:
+    """Apply one QR step in place, following the given elimination list.
+
+    ``eliminations`` must reduce the panel rows ``k..n-1`` to the diagonal
+    row ``k``; it is validated by default (cheap) so that a malformed
+    reduction tree cannot silently corrupt the factorization.
+    """
+    n = tiles.n
+    nb = tiles.nb
+    rows = list(range(k, n))
+    elims: List[Elimination] = list(eliminations)
+    if validate:
+        validate_eliminations(rows, elims)
+
+    triangular: Set[int] = set()
+
+    # The diagonal tile must end up triangular even if no elimination uses
+    # it as an eliminator (single-row panel, or trees rooted elsewhere merge
+    # into it last with TT kernels which triangularize it on demand).
+    if not elims:
+        _triangularize_row(tiles, k, k, record, triangular)
+        return
+
+    for e in elims:
+        _triangularize_row(tiles, e.eliminator, k, record, triangular)
+        if e.kind == "TT":
+            _triangularize_row(tiles, e.killed, k, record, triangular)
+            factor = ttqrt(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
+            record.add_kernel("ttqrt")
+            update_name, update_rhs_name = "ttmqr", "ttmqr_rhs"
+        else:
+            factor = tsqrt(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
+            record.add_kernel("tsqrt")
+            update_name, update_rhs_name = "tsmqr", "tsmqr_rhs"
+
+        tiles.set_tile(e.eliminator, k, np.triu(factor.r))
+        tiles.set_tile(e.killed, k, np.zeros((nb, nb)))
+
+        for j in range(k + 1, n):
+            top, bottom = tsmqr(factor, tiles.tile(e.eliminator, j), tiles.tile(e.killed, j))
+            tiles.set_tile(e.eliminator, j, top)
+            tiles.set_tile(e.killed, j, bottom)
+            record.add_kernel(update_name)
+        if tiles.has_rhs:
+            top, bottom = tsmqr(factor, tiles.rhs_tile(e.eliminator), tiles.rhs_tile(e.killed))
+            tiles.rhs_tile(e.eliminator)[...] = top
+            tiles.rhs_tile(e.killed)[...] = bottom
+            record.add_kernel(update_rhs_name)
+
+    # Make sure the surviving diagonal tile is triangular (it always is when
+    # it acted as an eliminator at least once, but a defensive GEQRT keeps
+    # the invariant for degenerate trees).
+    if k not in triangular:
+        _triangularize_row(tiles, k, k, record, triangular)
+
+    record.eliminations = elims

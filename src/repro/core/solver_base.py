@@ -1,0 +1,188 @@
+"""Common driver shared by the hybrid solver and all baselines.
+
+Every tiled algorithm of this library follows the same outer loop: walk the
+panels ``k = 0..n-1``, perform some elimination step on each, track the
+tile-norm growth, and finally back-substitute the transformed right-hand
+side.  :class:`TiledSolverBase` implements that loop, the (optional)
+padding of matrices whose order is not a multiple of the tile size
+(Section II-D2: "the algorithm can accommodate any N and nb with some
+clean-up codes"), breakdown handling, and the construction of
+:class:`~repro.core.factorization.Factorization` /
+:class:`~repro.core.factorization.SolveResult` objects.  Concrete solvers
+only implement :meth:`TiledSolverBase._do_step`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..linalg.pivoting import SingularPanelError
+from ..stability.growth import GrowthTracker
+from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
+from ..tiles.tile_matrix import TileMatrix
+from .factorization import Factorization, SolveResult, StepRecord
+
+__all__ = ["TiledSolverBase", "pad_to_tile_multiple"]
+
+
+def pad_to_tile_multiple(
+    a: np.ndarray, b: Optional[np.ndarray], tile_size: int
+) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+    """Pad ``A`` (and ``b``) so the order becomes a multiple of ``tile_size``.
+
+    The padding appends an identity block in the bottom-right corner and
+    zeros elsewhere, which leaves the solution of the original system
+    unchanged in its leading entries.  Returns ``(a_padded, b_padded, pad)``
+    where ``pad`` is the number of appended rows/columns.
+    """
+    n = a.shape[0]
+    pad = (-n) % tile_size
+    if pad == 0:
+        return a, b, 0
+    n_new = n + pad
+    a_pad = np.zeros((n_new, n_new))
+    a_pad[:n, :n] = a
+    a_pad[n:, n:] = np.eye(pad)
+    b_pad = None
+    if b is not None:
+        b2 = b.reshape(n, -1)
+        b_pad = np.zeros((n_new, b2.shape[1]))
+        b_pad[:n, :] = b2
+        if b.ndim == 1:
+            b_pad = b_pad  # keep 2-D internally; unpadded later
+    return a_pad, b_pad, pad
+
+
+class TiledSolverBase(ABC):
+    """Base class of every tiled factorization algorithm.
+
+    Parameters
+    ----------
+    tile_size:
+        Tile order ``nb``.
+    grid:
+        Virtual process grid used for the block-cyclic distribution (both
+        for diagonal-domain definition and for the performance model).
+        Defaults to a single process (shared-memory behaviour).
+    track_growth:
+        Record the tile-norm growth factor after every step (costs an extra
+        pass over the trailing tiles; disable for pure benchmarking runs).
+    """
+
+    #: Name used in experiment tables; overridden by subclasses.
+    algorithm: str = "abstract"
+
+    def __init__(
+        self,
+        tile_size: int,
+        grid: Optional[ProcessGrid] = None,
+        track_growth: bool = True,
+    ) -> None:
+        if tile_size < 1:
+            raise ValueError(f"tile_size must be positive, got {tile_size}")
+        self.tile_size = int(tile_size)
+        self.grid = grid if grid is not None else ProcessGrid(1, 1)
+        self.track_growth = bool(track_growth)
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _do_step(
+        self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
+    ) -> StepRecord:
+        """Perform elimination step ``k`` in place and describe it."""
+
+    def _criterion_name(self) -> Optional[str]:
+        return None
+
+    def _alpha(self) -> Optional[float]:
+        return None
+
+    def _reset(self) -> None:
+        """Reset per-factorization state (criteria RNGs, caches, ...)."""
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def factor(self, a: np.ndarray, b: Optional[np.ndarray] = None) -> Factorization:
+        """Factor ``[A | b]`` and return the :class:`Factorization`."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"A must be square, got shape {a.shape}")
+        if b is not None:
+            b = np.asarray(b, dtype=np.float64)
+            if b.shape[0] != a.shape[0]:
+                raise ValueError(
+                    f"b has {b.shape[0]} rows but A has order {a.shape[0]}"
+                )
+
+        a_work, b_work, pad = pad_to_tile_multiple(a, b, self.tile_size)
+        tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
+        dist = BlockCyclicDistribution(self.grid, tiles.n)
+        self._reset()
+
+        growth = GrowthTracker(tiles.max_tile_norm()) if self.track_growth else None
+        steps = []
+        breakdown: Optional[str] = None
+        for k in range(tiles.n):
+            try:
+                record = self._do_step(tiles, dist, k)
+            except SingularPanelError as exc:
+                breakdown = f"step {k}: {exc}"
+                break
+            steps.append(record)
+            if growth is not None:
+                growth.record(self._active_region_max_norm(tiles, k))
+
+        fact = Factorization(
+            tiles=tiles,
+            steps=steps,
+            algorithm=self.algorithm,
+            criterion_name=self._criterion_name(),
+            alpha=self._alpha(),
+            growth=growth,
+            breakdown=breakdown,
+        )
+        fact.padding = pad  # type: ignore[attr-defined]
+        return fact
+
+    def solve(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        x_true: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Solve ``Ax = b`` and evaluate stability against the original data."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        fact = self.factor(a, b)
+        if not fact.succeeded:
+            raise SingularPanelError(
+                f"{self.algorithm} broke down during factorization: {fact.breakdown}"
+            )
+        x_padded = fact.solve()
+        n = a.shape[0]
+        x = x_padded[:n] if x_padded.ndim == 1 else x_padded[:n, :]
+        if b.ndim == 1 and x.ndim == 2 and x.shape[1] == 1:
+            x = x[:, 0]
+        from .factorization import SolveResult as _SR  # local import to avoid cycle confusion
+        from ..stability.metrics import stability_report
+
+        report = stability_report(a, x, b, x_true=x_true)
+        return _SR(x=x, factorization=fact, stability=report)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _active_region_max_norm(tiles: TileMatrix, k: int) -> float:
+        """Largest tile 1-norm over the region touched at/after step ``k``."""
+        best = 0.0
+        for i in range(k, tiles.n):
+            for j in range(k, tiles.n):
+                best = max(best, tiles.tile_norm(i, j, ord=1))
+        return best

@@ -1,0 +1,20 @@
+"""Robustness criteria deciding between LU and QR elimination steps."""
+
+from .base import CriterionDecision, PanelInfo, RobustnessCriterion
+from .max_criterion import MaxCriterion
+from .mumps_criterion import MumpsCriterion, mumps_estimate_max
+from .random_choice import AlwaysLU, AlwaysQR, RandomCriterion
+from .sum_criterion import SumCriterion
+
+__all__ = [
+    "PanelInfo",
+    "CriterionDecision",
+    "RobustnessCriterion",
+    "MaxCriterion",
+    "SumCriterion",
+    "MumpsCriterion",
+    "mumps_estimate_max",
+    "RandomCriterion",
+    "AlwaysLU",
+    "AlwaysQR",
+]

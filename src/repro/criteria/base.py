@@ -1,0 +1,122 @@
+"""Robustness criteria interface (Section III of the paper).
+
+At every panel step the hybrid algorithm factors the diagonal domain with
+LU and partial pivoting, gathers a small amount of information about the
+panel (tile norms, per-column maxima, the pivots of the domain
+factorization, an estimate of ``||A_kk^{-1}||_1``), exchanges it between the
+nodes hosting panel tiles with an all-reduce, and then every node evaluates
+a *robustness criterion* to decide whether the step can safely proceed with
+LU kernels or must fall back to QR kernels.
+
+:class:`PanelInfo` is the container for that per-panel information (it is
+what would travel in the all-reduce), and :class:`RobustnessCriterion` is
+the strategy interface implemented by the Max, Sum, MUMPS and random
+criteria.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["PanelInfo", "RobustnessCriterion", "CriterionDecision"]
+
+
+@dataclass
+class PanelInfo:
+    """Per-panel information available to a robustness criterion.
+
+    All quantities refer to elimination step ``k`` of an ``n``-tile matrix
+    with tile size ``nb``, *after* the diagonal domain has been factored
+    with LU and partial pivoting (so ``A_kk`` means the diagonal tile after
+    pivoting among the tiles of the diagonal domain, exactly as in the
+    paper's analysis).
+
+    Attributes
+    ----------
+    k, n, nb:
+        Step index, number of tile rows, tile order.
+    diag_inv_norm_inv:
+        ``||(A_kk)^{-1}||_1^{-1}`` (0 when the tile is numerically singular).
+    offdiag_tile_norms:
+        ``||A_ik||_1`` for every sub-diagonal panel tile ``i > k`` (values
+        taken at the beginning of the step).  Used by Max and Sum.
+    local_max:
+        Per-column (length ``nb``) largest absolute element of the panel
+        *inside* the diagonal domain, before factorization.  Used by MUMPS.
+    away_max:
+        Per-column largest absolute element of the panel *outside* the
+        diagonal domain (0 when the domain covers the whole panel).
+    pivots:
+        ``|U_jj|`` of the diagonal-domain LU factorization (length ``nb``).
+    domain_rows:
+        Tile rows forming the diagonal domain (diagnostic only).
+    """
+
+    k: int
+    n: int
+    nb: int
+    diag_inv_norm_inv: float
+    offdiag_tile_norms: List[float]
+    local_max: np.ndarray
+    away_max: np.ndarray
+    pivots: np.ndarray
+    domain_rows: List[int] = field(default_factory=list)
+
+    @property
+    def max_offdiag_norm(self) -> float:
+        """``max_{i>k} ||A_ik||_1`` (0 for the last panel)."""
+        return max(self.offdiag_tile_norms, default=0.0)
+
+    @property
+    def sum_offdiag_norm(self) -> float:
+        """``sum_{i>k} ||A_ik||_1``."""
+        return float(sum(self.offdiag_tile_norms))
+
+    @property
+    def is_last_panel(self) -> bool:
+        """Whether this is the final step (no tiles below the diagonal)."""
+        return self.k == self.n - 1
+
+
+@dataclass(frozen=True)
+class CriterionDecision:
+    """Outcome of a criterion evaluation at one step.
+
+    ``use_lu`` is the decision; ``lhs``/``rhs`` expose the two sides of the
+    inequality that was tested (for logging and for the experiment traces);
+    ``detail`` is an optional human-readable explanation.
+    """
+
+    use_lu: bool
+    lhs: float = float("nan")
+    rhs: float = float("nan")
+    detail: str = ""
+
+
+class RobustnessCriterion(ABC):
+    """Strategy deciding, at each step, between an LU and a QR elimination."""
+
+    #: Short name used in experiment tables ("max", "sum", "mumps", ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, info: PanelInfo) -> CriterionDecision:
+        """Evaluate the criterion on one panel; return the full decision."""
+
+    def decide(self, info: PanelInfo) -> bool:
+        """``True`` when the step may safely use LU kernels."""
+        return self.evaluate(info).use_lu
+
+    def growth_bound(self, n_tiles: int) -> Optional[float]:
+        """Theoretical bound on the tile-norm growth factor, when known."""
+        return None
+
+    def reset(self) -> None:
+        """Reset any internal state (called once per factorization)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

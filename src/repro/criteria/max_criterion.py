@@ -1,0 +1,58 @@
+"""The Max criterion (Section III-A)."""
+
+from __future__ import annotations
+
+import math
+
+from ..stability.growth import max_criterion_growth_bound
+from .base import CriterionDecision, PanelInfo, RobustnessCriterion
+
+__all__ = ["MaxCriterion"]
+
+
+class MaxCriterion(RobustnessCriterion):
+    """LU step iff ``alpha * ||(A_kk)^{-1}||_1^{-1} >= max_{i>k} ||A_ik||_1``.
+
+    This generalizes the scalar partial-pivoting rule ("the pivot is the
+    largest element of the column") to tiles: the diagonal tile is accepted
+    as a pivot block when its smallest "scale" (the reciprocal of the norm
+    of its inverse) is, up to the threshold ``alpha``, at least as large as
+    the largest sub-diagonal tile of the panel.
+
+    The induced growth of the tile norms of the trailing matrix is bounded
+    by ``(1 + alpha)^(n-1)``; for ``alpha = 1`` this is the analogue of the
+    ``2^(n-1)`` bound of scalar partial pivoting.
+
+    ``alpha = inf`` disables the test (every step is LU, i.e. LU NoPiv with
+    diagonal-domain pivoting); ``alpha = 0`` forces a QR step whenever any
+    sub-diagonal tile is nonzero (i.e. the HQR algorithm plus the decision
+    overhead).
+    """
+
+    name = "max"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0 and not math.isinf(alpha):
+            raise ValueError(f"alpha must be non-negative (or inf), got {alpha}")
+        self.alpha = float(alpha)
+
+    def evaluate(self, info: PanelInfo) -> CriterionDecision:
+        rhs = info.max_offdiag_norm
+        if math.isinf(self.alpha):
+            return CriterionDecision(True, lhs=math.inf, rhs=rhs, detail="alpha=inf: always LU")
+        lhs = self.alpha * info.diag_inv_norm_inv
+        use_lu = bool(lhs >= rhs)
+        return CriterionDecision(
+            use_lu,
+            lhs=lhs,
+            rhs=rhs,
+            detail=f"alpha*||Akk^-1||^-1 = {lhs:.3e} vs max_i ||Aik|| = {rhs:.3e}",
+        )
+
+    def growth_bound(self, n_tiles: int) -> float:
+        if math.isinf(self.alpha):
+            return math.inf
+        return max_criterion_growth_bound(self.alpha, n_tiles)
+
+    def __repr__(self) -> str:
+        return f"MaxCriterion(alpha={self.alpha})"

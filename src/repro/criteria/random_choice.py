@@ -1,0 +1,77 @@
+"""Random and fixed decision policies.
+
+The fourth row of Figure 2 uses a *random* choice between LU and QR at each
+step, "intended to assess the performance obtained for a given ratio of LU
+vs QR steps": it is a useful performance yardstick but, as Figure 3 shows,
+it is numerically unstable on the special-matrix collection.  The fixed
+policies (always LU / always QR) correspond to ``alpha = inf`` and
+``alpha = 0`` and are handy for tests and baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import CriterionDecision, PanelInfo, RobustnessCriterion
+
+__all__ = ["RandomCriterion", "AlwaysLU", "AlwaysQR"]
+
+
+class RandomCriterion(RobustnessCriterion):
+    """Choose an LU step with fixed probability, independently at each step.
+
+    Parameters
+    ----------
+    lu_probability:
+        Probability of performing an LU step (``1.0`` = LU NoPiv behaviour,
+        ``0.0`` = HQR behaviour).  The paper parameterises the random policy
+        by a threshold ``alpha`` whose sweep spans the same 0-100% range of
+        LU steps; we expose the fraction directly.
+    seed:
+        Seed of the private random generator (so experiments are repeatable).
+    """
+
+    name = "random"
+
+    def __init__(self, lu_probability: float = 0.5, seed: Optional[int] = None) -> None:
+        if not 0.0 <= lu_probability <= 1.0:
+            raise ValueError(f"lu_probability must be in [0, 1], got {lu_probability}")
+        self.lu_probability = float(lu_probability)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def evaluate(self, info: PanelInfo) -> CriterionDecision:
+        draw = float(self._rng.random())
+        use_lu = draw < self.lu_probability
+        return CriterionDecision(
+            use_lu,
+            lhs=self.lu_probability,
+            rhs=draw,
+            detail=f"draw {draw:.3f} vs p(LU) {self.lu_probability:.3f}",
+        )
+
+    def __repr__(self) -> str:
+        return f"RandomCriterion(lu_probability={self.lu_probability}, seed={self.seed})"
+
+
+class AlwaysLU(RobustnessCriterion):
+    """Accept an LU step at every panel (``alpha = inf``)."""
+
+    name = "always-lu"
+
+    def evaluate(self, info: PanelInfo) -> CriterionDecision:
+        return CriterionDecision(True, detail="always LU")
+
+
+class AlwaysQR(RobustnessCriterion):
+    """Force a QR step at every panel (``alpha = 0``)."""
+
+    name = "always-qr"
+
+    def evaluate(self, info: PanelInfo) -> CriterionDecision:
+        return CriterionDecision(False, detail="always QR")

@@ -1,0 +1,17 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from . import ablations, common, figure1, figure2, figure3, table1, table2, table3
+from .common import ExperimentConfig, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "format_table",
+    "common",
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure2",
+    "figure3",
+    "ablations",
+]

@@ -1,0 +1,142 @@
+"""Figure 2 — stability, performance and %LU steps on random matrices.
+
+Figure 2 of the paper has one row per criterion (Max, Sum, MUMPS, plus a
+random-choice policy) and three columns:
+
+1. relative stability: HPL3 divided by the HPL3 of LUPP on the same matrix,
+2. normalised GFLOP/s,
+3. percentage of LU steps,
+
+as functions of the matrix size, for several values of the threshold
+``alpha``, together with the LU NoPiv, LU IncPiv, HQR and LUPP baselines.
+
+This harness reproduces the same series at laptop scale: the stability and
+%LU-step columns come from full numerical factorizations on random
+matrices (averaged over ``config.samples`` matrices), and the GFLOP/s
+column is obtained by replaying each run's step-kind trace on the simulated
+Dancer platform at the paper's tile size.
+
+Run with ``python -m repro.experiments.figure2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..matrices.random_gen import random_matrix, random_rhs
+from ..stability.metrics import hpl3
+from .common import ExperimentConfig, format_table, make_baseline, make_hybrid, simulate_at_paper_scale
+
+__all__ = ["ALPHA_SWEEPS", "figure2_rows", "main"]
+
+#: Representative ``alpha`` sweeps per criterion.  The paper's useful ranges
+#: differ per criterion (Section V-B); these values span 0% to 100% LU steps
+#: at the scaled-down sizes used here.
+ALPHA_SWEEPS: Dict[str, List[float]] = {
+    "max": [0.0, 2.0, 10.0, 50.0, 200.0, float("inf")],
+    "sum": [0.0, 2.0, 10.0, 50.0, 200.0, float("inf")],
+    "mumps": [0.0, 0.5, 1.0, 2.1, 10.0, float("inf")],
+    # For the random policy the knob is directly the probability of LU.
+    "random": [0.0, 0.25, 0.5, 0.75, 1.0],
+}
+
+
+def _average(values: Sequence[float]) -> float:
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("inf")
+
+
+def figure2_rows(
+    config: Optional[ExperimentConfig] = None,
+    criteria: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    include_baselines: bool = True,
+    simulate_performance: bool = True,
+) -> List[Dict[str, object]]:
+    """Produce the Figure 2 data points.
+
+    Each returned row carries: criterion, alpha, number of tiles, matrix
+    order N, relative HPL3 (vs LUPP), %LU steps, and (optionally) the
+    simulated fake GFLOP/s at paper scale.
+    """
+    config = config if config is not None else ExperimentConfig()
+    criteria = list(criteria) if criteria is not None else ["max", "sum", "mumps", "random"]
+    sizes = list(sizes) if sizes is not None else [config.n_tiles]
+
+    rows: List[Dict[str, object]] = []
+    rng = np.random.default_rng(config.seed)
+
+    for n_tiles in sizes:
+        cfg = ExperimentConfig(
+            n_tiles=n_tiles,
+            tile_size=config.tile_size,
+            paper_n_tiles=config.paper_n_tiles,
+            paper_tile_size=config.paper_tile_size,
+            grid=config.grid,
+            samples=config.samples,
+            seed=config.seed,
+        )
+        n = n_tiles * cfg.tile_size
+        matrices = [random_matrix(n, seed=int(rng.integers(2**31))) for _ in range(cfg.samples)]
+        rhss = [random_rhs(n, seed=int(rng.integers(2**31))) for _ in range(cfg.samples)]
+
+        # LUPP reference HPL3 per sample matrix.
+        lupp = make_baseline("lupp", cfg)
+        lupp_results = [lupp.solve(a, b) for a, b in zip(matrices, rhss)]
+        lupp_hpl3 = [r.hpl3 for r in lupp_results]
+
+        def run_and_summarize(solver, label: str, criterion: str, alpha: float) -> Dict[str, object]:
+            rel, lu_pct, reports = [], [], []
+            last_fact = None
+            for (a, b), ref in zip(zip(matrices, rhss), lupp_hpl3):
+                try:
+                    res = solver.solve(a, b)
+                except Exception:
+                    rel.append(float("inf"))
+                    lu_pct.append(float("nan"))
+                    continue
+                rel.append(res.hpl3 / ref if ref > 0 else float("inf"))
+                lu_pct.append(res.factorization.lu_percentage)
+                last_fact = res.factorization
+            row: Dict[str, object] = {
+                "criterion": criterion,
+                "alpha": alpha,
+                "n_tiles": n_tiles,
+                "N": n,
+                "relative_hpl3": _average(rel),
+                "lu_steps_pct": _average([v for v in lu_pct if np.isfinite(v)]),
+                "label": label,
+            }
+            if simulate_performance and last_fact is not None:
+                report = simulate_at_paper_scale(last_fact, cfg)
+                row["gflops"] = report.fake_gflops
+                row["peak_pct"] = 100.0 * report.fake_peak_fraction
+            return row
+
+        for criterion in criteria:
+            for alpha in ALPHA_SWEEPS[criterion]:
+                solver = make_hybrid(criterion, alpha, cfg, seed=config.seed)
+                rows.append(
+                    run_and_summarize(solver, f"LUQR-{criterion}(alpha={alpha})", criterion, alpha)
+                )
+
+        if include_baselines:
+            for base in ("LU NoPiv", "LU IncPiv", "HQR", "LUPP"):
+                solver = make_baseline(base, cfg)
+                rows.append(run_and_summarize(solver, base, base, float("nan")))
+
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    config = ExperimentConfig()
+    rows = figure2_rows(config)
+    columns = ["label", "n_tiles", "N", "relative_hpl3", "lu_steps_pct", "gflops", "peak_pct"]
+    print("Figure 2 — random matrices, relative HPL3 (vs LUPP), %LU steps, simulated GFLOP/s")
+    print(format_table(rows, columns))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

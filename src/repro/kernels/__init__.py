@@ -1,0 +1,47 @@
+"""Tile kernels (LU and QR) and their flop model (Table I)."""
+
+from .flops import (
+    KernelFlops,
+    factorization_flops_lu,
+    factorization_flops_qr,
+    fake_flops,
+    kernel_flops,
+    lu_step_flops,
+    qr_step_flops,
+    step_flops_table,
+    true_flops,
+)
+from .lu_kernels import (
+    LUPanelFactor,
+    apply_swptrsm,
+    eliminate_trsm,
+    factor_panel_lu,
+    factor_tile_lu,
+    update_gemm,
+)
+from .qr_kernels import QRTileFactor, geqrt_tile, tsmqr, tsqrt, ttmqr, ttqrt, unmqr
+
+__all__ = [
+    "KernelFlops",
+    "kernel_flops",
+    "lu_step_flops",
+    "qr_step_flops",
+    "step_flops_table",
+    "factorization_flops_lu",
+    "factorization_flops_qr",
+    "fake_flops",
+    "true_flops",
+    "LUPanelFactor",
+    "factor_tile_lu",
+    "factor_panel_lu",
+    "eliminate_trsm",
+    "apply_swptrsm",
+    "update_gemm",
+    "QRTileFactor",
+    "geqrt_tile",
+    "unmqr",
+    "tsqrt",
+    "tsmqr",
+    "ttqrt",
+    "ttmqr",
+]

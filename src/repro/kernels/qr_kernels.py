@@ -1,0 +1,117 @@
+"""Tile kernels of the QR elimination step (tiled / hierarchical QR).
+
+A QR step eliminates every tile below the diagonal of the panel using
+orthogonal transformations.  The kernels, named after their PLASMA
+counterparts, are:
+
+* **GEQRT**  — QR of a single square tile, producing ``(V, T, R)`` in
+  compact-WY form.
+* **TSQRT**  — QR of a *triangular* tile stacked on a *square* tile
+  (Triangle on top of Square): kills a square tile using an eliminator
+  tile that is already triangular.
+* **TSMQR**  — apply the TSQRT transformation to the trailing tiles of the
+  two rows involved.
+* **UNMQR**  — apply a GEQRT transformation to a trailing tile of the
+  eliminator row.
+* **TTQRT**  — QR of a triangular tile stacked on a *triangular* tile
+  (Triangle on top of Triangle): merges two eliminators, used by the
+  inter-domain reduction trees.
+* **TTMQR**  — apply the TTQRT transformation to trailing tiles.
+
+Every kernel returns new tile values (functional style); the drivers in
+:mod:`repro.core.qr_step` and :mod:`repro.baselines.hqr` write them back
+into the :class:`~repro.tiles.TileMatrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..linalg.householder import apply_q_transpose, geqrt
+
+__all__ = [
+    "QRTileFactor",
+    "geqrt_tile",
+    "unmqr",
+    "tsqrt",
+    "tsmqr",
+    "ttqrt",
+    "ttmqr",
+]
+
+
+@dataclass
+class QRTileFactor:
+    """Compact-WY representation ``Q = I - V T V^T`` of a tile elimination.
+
+    ``V`` has ``2*nb`` rows for the coupled kernels (TSQRT/TTQRT) and ``nb``
+    rows for GEQRT; ``r`` is the resulting upper-triangular tile.
+    """
+
+    v: np.ndarray
+    t: np.ndarray
+    r: np.ndarray
+    nb: int
+
+
+def geqrt_tile(a_kk: np.ndarray) -> QRTileFactor:
+    """GEQRT: QR of one square tile. Returns the compact-WY factor and ``R``."""
+    nb = a_kk.shape[0]
+    v, t, r = geqrt(a_kk)
+    return QRTileFactor(v=v, t=t, r=r, nb=nb)
+
+
+def unmqr(factor: QRTileFactor, c: np.ndarray) -> np.ndarray:
+    """UNMQR: apply ``Q^T`` of a GEQRT factorization to a trailing tile."""
+    return apply_q_transpose(factor.v, factor.t, c)
+
+
+def tsqrt(r_top: np.ndarray, a_bottom: np.ndarray) -> QRTileFactor:
+    """TSQRT: eliminate a square tile using a triangular eliminator tile.
+
+    Factors the ``2nb x nb`` stacked matrix ``[R_top; A_bottom]`` where
+    ``R_top`` is upper triangular.  The result's ``r`` replaces the
+    eliminator tile, while the killed tile conceptually stores the
+    reflectors (returned in ``v``).
+    """
+    nb = r_top.shape[0]
+    stacked = np.vstack([np.triu(r_top), a_bottom])
+    v, t, r = geqrt(stacked)
+    return QRTileFactor(v=v, t=t, r=r, nb=nb)
+
+
+def tsmqr(
+    factor: QRTileFactor, c_top: np.ndarray, c_bottom: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """TSMQR: apply a TSQRT transformation to a pair of trailing tiles.
+
+    ``c_top`` belongs to the eliminator row, ``c_bottom`` to the killed row.
+    Returns the updated ``(c_top, c_bottom)``.
+    """
+    nb = factor.nb
+    stacked = np.vstack([c_top, c_bottom])
+    out = apply_q_transpose(factor.v, factor.t, stacked)
+    return out[:nb], out[nb:]
+
+
+def ttqrt(r_top: np.ndarray, r_bottom: np.ndarray) -> QRTileFactor:
+    """TTQRT: merge two triangular eliminator tiles (reduction-tree kernel).
+
+    Factors ``[R_top; R_bottom]`` with both blocks upper triangular; used
+    when combining the local eliminators of different domains along the
+    inter-node reduction tree.
+    """
+    nb = r_top.shape[0]
+    stacked = np.vstack([np.triu(r_top), np.triu(r_bottom)])
+    v, t, r = geqrt(stacked)
+    return QRTileFactor(v=v, t=t, r=r, nb=nb)
+
+
+def ttmqr(
+    factor: QRTileFactor, c_top: np.ndarray, c_bottom: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """TTMQR: apply a TTQRT transformation to a pair of trailing tiles."""
+    return tsmqr(factor, c_top, c_bottom)

@@ -1,0 +1,28 @@
+"""Matrix generators: the Table III special collection and random workloads."""
+
+from . import registry, special
+from .random_gen import (
+    block_diagonally_dominant,
+    diagonally_dominant,
+    matrix_with_condition,
+    near_singular_leading_tile,
+    random_matrix,
+    random_rhs,
+)
+from .registry import TABLE_III, MatrixEntry, build, by_name, names
+
+__all__ = [
+    "special",
+    "registry",
+    "MatrixEntry",
+    "TABLE_III",
+    "by_name",
+    "build",
+    "names",
+    "random_matrix",
+    "random_rhs",
+    "diagonally_dominant",
+    "block_diagonally_dominant",
+    "matrix_with_condition",
+    "near_singular_leading_tile",
+]

@@ -1,0 +1,112 @@
+"""Random and structured-random matrix generators used by the experiments.
+
+Figure 2 and Table II of the paper use dense random matrices (entries drawn
+from a standard distribution); the concluding discussion also mentions
+(block) diagonally dominant matrices, for which every criterion accepts an
+LU step at every panel.  This module provides those generators plus a few
+helpers to manufacture matrices with a prescribed conditioning, which are
+useful for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "random_matrix",
+    "random_rhs",
+    "diagonally_dominant",
+    "block_diagonally_dominant",
+    "matrix_with_condition",
+    "near_singular_leading_tile",
+]
+
+
+def random_matrix(n: int, seed: Optional[int] = None) -> np.ndarray:
+    """Dense matrix with i.i.d. standard normal entries (the paper's workload)."""
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+def random_rhs(n: int, seed: Optional[int] = None, nrhs: int = 1) -> np.ndarray:
+    """Random right-hand side(s); 1-D when ``nrhs == 1``."""
+    b = np.random.default_rng(seed).standard_normal((n, nrhs))
+    return b[:, 0] if nrhs == 1 else b
+
+
+def diagonally_dominant(n: int, seed: Optional[int] = None, margin: float = 1.0) -> np.ndarray:
+    """Strictly (row and column) diagonally dominant random matrix.
+
+    Every robustness criterion accepts every LU step on such matrices
+    (Section III-B), so the hybrid algorithm degenerates into LU NoPiv with
+    domain pivoting.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    np.fill_diagonal(a, 0.0)
+    bound = np.maximum(np.abs(a).sum(axis=0), np.abs(a).sum(axis=1))
+    signs = np.where(rng.random(n) < 0.5, -1.0, 1.0)
+    np.fill_diagonal(a, signs * (bound + margin))
+    return a
+
+
+def block_diagonally_dominant(
+    n: int, tile_size: int, seed: Optional[int] = None, margin: float = 1.0
+) -> np.ndarray:
+    """Block diagonally dominant matrix w.r.t. an ``nb``-tile partitioning.
+
+    ``||A_jj^{-1}||^{-1} >= sum_{i != j} ||A_ij|| + margin`` for every block
+    column ``j`` (1-norms), the sufficient condition under which the Max and
+    Sum criteria with ``alpha >= 1`` are satisfied at every step.
+    """
+    if n % tile_size != 0:
+        raise ValueError(f"n={n} is not a multiple of tile_size={tile_size}")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    nt = n // tile_size
+    for j in range(nt):
+        cols = slice(j * tile_size, (j + 1) * tile_size)
+        off_norm = 0.0
+        for i in range(nt):
+            if i == j:
+                continue
+            rows = slice(i * tile_size, (i + 1) * tile_size)
+            off_norm += np.linalg.norm(a[rows, cols], 1)
+        # Make the diagonal block a well-conditioned scaled identity-plus-noise
+        # whose inverse norm is controlled.
+        rows = slice(j * tile_size, (j + 1) * tile_size)
+        scale = off_norm + margin + 1.0
+        block = np.eye(tile_size) * scale + 0.1 * rng.standard_normal((tile_size, tile_size))
+        a[rows, cols] = block
+    return a
+
+
+def matrix_with_condition(n: int, cond: float, seed: Optional[int] = None) -> np.ndarray:
+    """Random matrix with prescribed 2-norm condition number.
+
+    Built as ``U diag(s) V^T`` with geometrically spaced singular values
+    between ``1`` and ``1/cond`` and random orthogonal factors.
+    """
+    if cond < 1.0:
+        raise ValueError("condition number must be >= 1")
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.geomspace(1.0, 1.0 / cond, n)
+    return (u * s) @ v.T
+
+
+def near_singular_leading_tile(
+    n: int, tile_size: int, epsilon: float = 1e-12, seed: Optional[int] = None
+) -> np.ndarray:
+    """Random matrix whose leading ``nb x nb`` tile is nearly singular.
+
+    Useful to force the robustness criteria to reject the first LU step:
+    the leading tile is replaced by a matrix with smallest singular value
+    ``epsilon`` while the rest of the matrix stays well scaled.
+    """
+    a = random_matrix(n, seed=seed)
+    block = matrix_with_condition(tile_size, 1.0 / epsilon, seed=seed)
+    a[:tile_size, :tile_size] = block
+    return a

@@ -1,0 +1,98 @@
+"""Registry of the Table III special matrices.
+
+Maps the paper's matrix numbers/names to generator callables so that the
+Figure 3 harness (and user code) can iterate over the whole collection:
+
+>>> from repro.matrices import registry
+>>> for entry in registry.TABLE_III:
+...     a = entry.build(64)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from . import special
+
+__all__ = ["MatrixEntry", "TABLE_III", "EXTRA", "by_name", "names", "build"]
+
+
+@dataclass(frozen=True)
+class MatrixEntry:
+    """One row of Table III.
+
+    Attributes
+    ----------
+    number:
+        The paper's matrix number (1-21); 0 for extras not in the table.
+    name:
+        Matrix name (lower case, as in the table).
+    description:
+        The table's one-line description.
+    generator:
+        Callable ``f(n) -> ndarray`` producing the matrix of order ``n``.
+    """
+
+    number: int
+    name: str
+    description: str
+    generator: Callable[[int], np.ndarray]
+
+    def build(self, n: int) -> np.ndarray:
+        """Generate the matrix of order ``n``."""
+        return np.asarray(self.generator(n), dtype=np.float64)
+
+
+TABLE_III: List[MatrixEntry] = [
+    MatrixEntry(1, "house", "Householder matrix, A = eye(n) - beta*v*v'", special.house),
+    MatrixEntry(2, "parter", "Parter matrix, Toeplitz with singular values near pi", special.parter),
+    MatrixEntry(3, "ris", "Ris matrix, eigenvalues cluster around +/- pi/2", special.ris),
+    MatrixEntry(4, "condex", "Counter-example matrix to condition estimators", special.condex),
+    MatrixEntry(5, "circul", "Circulant matrix", special.circul),
+    MatrixEntry(6, "hankel", "Random Hankel matrix", special.hankel),
+    MatrixEntry(7, "compan", "Companion matrix (sparse)", special.compan),
+    MatrixEntry(8, "lehmer", "Lehmer matrix, SPD with tridiagonal inverse", special.lehmer),
+    MatrixEntry(9, "dorr", "Dorr matrix, diagonally dominant ill-conditioned tridiagonal", special.dorr),
+    MatrixEntry(10, "demmel", "D*(eye(n) + 1e-7*rand(n)), D = diag(10^(14*(0:n-1)/n))", special.demmel),
+    MatrixEntry(11, "chebvand", "Chebyshev Vandermonde matrix on [0, 1]", special.chebvand),
+    MatrixEntry(12, "invhess", "Its inverse is an upper Hessenberg matrix", special.invhess),
+    MatrixEntry(13, "prolate", "Prolate matrix, ill-conditioned Toeplitz", special.prolate),
+    MatrixEntry(14, "cauchy", "Cauchy matrix", special.cauchy),
+    MatrixEntry(15, "hilb", "Hilbert matrix, A(i,j) = 1/(i+j-1)", special.hilb),
+    MatrixEntry(16, "lotkin", "Hilbert matrix with its first row set to ones", special.lotkin),
+    MatrixEntry(17, "kahan", "Kahan matrix, upper trapezoidal", special.kahan),
+    MatrixEntry(18, "orthog", "Symmetric eigenvector matrix sqrt(2/(n+1))*sin(ij*pi/(n+1))", special.orthog),
+    MatrixEntry(19, "wilkinson", "Matrix attaining the GEPP growth-factor upper bound", special.wilkinson),
+    MatrixEntry(20, "foster", "Volterra integral equation quadrature matrix", special.foster),
+    MatrixEntry(21, "wright", "Exponential GEPP growth (multiple shooting)", special.wright),
+]
+
+EXTRA: List[MatrixEntry] = [
+    MatrixEntry(0, "fiedler", "Fiedler matrix |i - j| (LU NoPiv and LUPP break down)", special.fiedler),
+]
+
+_ALL: Dict[str, MatrixEntry] = {e.name: e for e in TABLE_III + EXTRA}
+
+
+def names(include_extra: bool = False) -> List[str]:
+    """All matrix names of Table III (optionally plus the extras)."""
+    base = [e.name for e in TABLE_III]
+    return base + [e.name for e in EXTRA] if include_extra else base
+
+
+def by_name(name: str) -> MatrixEntry:
+    """Look up a matrix entry by name."""
+    try:
+        return _ALL[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown special matrix {name!r}; known: {sorted(_ALL)}"
+        ) from exc
+
+
+def build(name: str, n: int) -> np.ndarray:
+    """Build special matrix ``name`` of order ``n``."""
+    return by_name(name).build(n)

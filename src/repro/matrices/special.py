@@ -1,0 +1,363 @@
+"""The special-matrix collection of Table III.
+
+The paper evaluates stability on a set of pathological matrices "on which
+LUPP fails because of large growth factors", mostly taken from Higham's
+Matrix Computation Toolbox / MATLAB's ``gallery``.  This module implements
+every generator of Table III (plus the ``fiedler`` matrix discussed in
+Section V-C) as pure-numpy functions of the matrix order ``n``.
+
+All generators return dense ``float64`` arrays.  Generators that are random
+in the paper (``house``, ``circul``, ``hankel``, ``compan``, ``demmel``)
+accept a ``seed`` so experiments are reproducible.
+
+Where the original toolbox definition depends on auxiliary parameters, the
+toolbox defaults are used and documented on each function.  Two matrices —
+``foster`` and ``wright`` — are not part of Higham's toolbox; they come from
+the GEPP-failure literature (Foster 1994, Wright 1993) and are implemented
+here following the published constructions (quadrature of a Volterra
+integral equation, and a multiple-shooting two-point boundary-value matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "house",
+    "parter",
+    "ris",
+    "condex",
+    "circul",
+    "hankel",
+    "compan",
+    "lehmer",
+    "dorr",
+    "demmel",
+    "chebvand",
+    "invhess",
+    "prolate",
+    "cauchy",
+    "hilb",
+    "lotkin",
+    "kahan",
+    "orthog",
+    "wilkinson",
+    "foster",
+    "wright",
+    "fiedler",
+]
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+# --------------------------------------------------------------------------- #
+# 1-21: Table III
+# --------------------------------------------------------------------------- #
+def house(n: int, seed: int | None = 0) -> np.ndarray:
+    """No. 1 — Householder matrix ``A = I - beta v v^T``.
+
+    ``v`` is a random Householder vector and ``beta = 2 / (v^T v)``, so the
+    result is an orthogonal (and symmetric) reflector.
+    """
+    v = _rng(seed).standard_normal(n)
+    beta = 2.0 / float(v @ v)
+    return np.eye(n) - beta * np.outer(v, v)
+
+
+def parter(n: int) -> np.ndarray:
+    """No. 2 — Parter matrix, ``A(i, j) = 1 / (i - j + 0.5)`` (1-based).
+
+    A Toeplitz matrix with most singular values near ``pi``.
+    """
+    i = np.arange(1, n + 1).reshape(-1, 1)
+    j = np.arange(1, n + 1).reshape(1, -1)
+    return 1.0 / (i - j + 0.5)
+
+
+def ris(n: int) -> np.ndarray:
+    """No. 3 — Ris matrix, ``A(i, j) = 0.5 / (n - i - j + 1.5)`` (1-based).
+
+    Symmetric Hankel matrix; eigenvalues cluster around ``-pi/2`` and ``pi/2``.
+    """
+    i = np.arange(1, n + 1).reshape(-1, 1)
+    j = np.arange(1, n + 1).reshape(1, -1)
+    return 0.5 / (n - i - j + 1.5)
+
+
+def condex(n: int, theta: float = 100.0) -> np.ndarray:
+    """No. 4 — Counter-example matrix to condition estimators.
+
+    Higham's mode-1 (Cline/Rew) 4-by-4 counter-example embedded in the
+    leading block of ``theta * I_n`` (the toolbox embedding).  Requires
+    ``n >= 4``.
+    """
+    if n < 4:
+        raise ValueError("condex requires n >= 4")
+    a4 = np.array(
+        [
+            [1.0, -1.0, -2.0 * theta, 0.0],
+            [0.0, 1.0, theta, -theta],
+            [0.0, 1.0, 1.0 + theta, -(theta + 1.0)],
+            [0.0, 0.0, 0.0, theta],
+        ]
+    )
+    a = theta * np.eye(n)
+    a[:4, :4] = a4
+    return a
+
+
+def circul(n: int, seed: int | None = 0) -> np.ndarray:
+    """No. 5 — Circulant matrix of a random first row."""
+    c = _rng(seed).standard_normal(n)
+    return sla.circulant(c)
+
+
+def hankel(n: int, seed: int | None = 0) -> np.ndarray:
+    """No. 6 — Random Hankel matrix, ``A = hankel(c, r)`` with ``c[n-1] = r[0]``."""
+    rng = _rng(seed)
+    c = rng.standard_normal(n)
+    r = rng.standard_normal(n)
+    c[-1] = r[0]
+    return sla.hankel(c, r)
+
+
+def compan(n: int, seed: int | None = 0) -> np.ndarray:
+    """No. 7 — Companion matrix of a random degree-``n`` polynomial."""
+    coeffs = _rng(seed).standard_normal(n + 1)
+    # Guard against a (probability-zero) vanishing leading coefficient.
+    if coeffs[0] == 0.0:
+        coeffs[0] = 1.0
+    return sla.companion(coeffs)
+
+
+def lehmer(n: int) -> np.ndarray:
+    """No. 8 — Lehmer matrix, ``A(i, j) = min(i, j) / max(i, j)``.
+
+    Symmetric positive definite with a tridiagonal inverse.
+    """
+    i = np.arange(1, n + 1).reshape(-1, 1)
+    j = np.arange(1, n + 1).reshape(1, -1)
+    return np.minimum(i, j) / np.maximum(i, j)
+
+
+def dorr(n: int, theta: float = 0.01) -> np.ndarray:
+    """No. 9 — Dorr matrix: diagonally dominant, ill-conditioned, tridiagonal.
+
+    Discretisation of a singularly-perturbed convection-diffusion problem
+    (Dorr 1971), following the construction of Higham's toolbox ``dorr.m``.
+    Returned dense.
+    """
+    if n < 2:
+        raise ValueError("dorr requires n >= 2")
+    h = 1.0 / (n + 1)
+    m = (n + 1) // 2
+    term = theta / h**2
+    sub = np.zeros(n)    # c(i): entry (i, i-1)
+    diag = np.zeros(n)
+    sup = np.zeros(n)    # e(i): entry (i, i+1)
+    for idx in range(n):
+        i = idx + 1  # 1-based as in the reference implementation
+        if i <= m:
+            sub[idx] = -term
+            sup[idx] = sub[idx] - (0.5 - i * h) / h
+        else:
+            sup[idx] = -term
+            sub[idx] = sup[idx] + (0.5 - i * h) / h
+        diag[idx] = -(sub[idx] + sup[idx])
+    a = np.diag(diag)
+    for idx in range(1, n):
+        a[idx, idx - 1] = sub[idx]
+    for idx in range(n - 1):
+        a[idx, idx + 1] = sup[idx]
+    return a
+
+
+def demmel(n: int, seed: int | None = 0) -> np.ndarray:
+    """No. 10 — Demmel matrix, ``A = D (I + 1e-7 R)`` with huge diagonal scaling.
+
+    ``D = diag(10^(14 (0:n-1)/n))`` and ``R`` uniform random in ``[0, 1)``.
+    """
+    rng = _rng(seed)
+    d = np.power(10.0, 14.0 * np.arange(n) / n)
+    return np.diag(d) @ (np.eye(n) + 1e-7 * rng.random((n, n)))
+
+
+def chebvand(n: int) -> np.ndarray:
+    """No. 11 — Chebyshev Vandermonde matrix on ``n`` equispaced points of [0, 1].
+
+    ``A(i, j) = T_{i-1}(p_j)`` built with the Chebyshev three-term recurrence.
+    """
+    p = np.linspace(0.0, 1.0, n)
+    a = np.ones((n, n))
+    if n > 1:
+        a[1, :] = p
+        for i in range(2, n):
+            a[i, :] = 2.0 * p * a[i - 1, :] - a[i - 2, :]
+    return a
+
+
+def invhess(n: int) -> np.ndarray:
+    """No. 12 — Matrix whose inverse is upper Hessenberg.
+
+    Toolbox definition with ``x = 1..n`` and ``y = -x``:
+    ``A(i, j) = x(j)`` for ``i >= j`` and ``A(i, j) = y(i)`` for ``i < j``.
+    """
+    x = np.arange(1, n + 1, dtype=np.float64)
+    y = -x
+    a = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            a[i, j] = x[j] if i >= j else y[i]
+    return a
+
+
+def prolate(n: int, w: float = 0.25) -> np.ndarray:
+    """No. 13 — Prolate matrix: symmetric, ill-conditioned Toeplitz.
+
+    First row/column ``a_0 = 2w``, ``a_k = sin(2 pi w k) / (pi k)``.
+    """
+    a = np.empty(n)
+    a[0] = 2.0 * w
+    k = np.arange(1, n)
+    a[1:] = np.sin(2.0 * np.pi * w * k) / (np.pi * k)
+    return sla.toeplitz(a)
+
+
+def cauchy(n: int) -> np.ndarray:
+    """No. 14 — Cauchy matrix ``A(i, j) = 1 / (x_i + y_j)`` with ``x = y = 1..n``."""
+    x = np.arange(1, n + 1).reshape(-1, 1)
+    y = np.arange(1, n + 1).reshape(1, -1)
+    return 1.0 / (x + y)
+
+
+def hilb(n: int) -> np.ndarray:
+    """No. 15 — Hilbert matrix ``A(i, j) = 1 / (i + j - 1)`` (1-based)."""
+    i = np.arange(1, n + 1).reshape(-1, 1)
+    j = np.arange(1, n + 1).reshape(1, -1)
+    return 1.0 / (i + j - 1.0)
+
+
+def lotkin(n: int) -> np.ndarray:
+    """No. 16 — Lotkin matrix: the Hilbert matrix with its first row set to ones."""
+    a = hilb(n)
+    a[0, :] = 1.0
+    return a
+
+
+def kahan(n: int, theta: float = 1.2) -> np.ndarray:
+    """No. 17 — Kahan matrix: upper triangular (trapezoidal), ill-conditioned.
+
+    ``U(i, i) = s^(i-1)``, ``U(i, j) = -c s^(i-1)`` for ``j > i`` with
+    ``s = sin(theta)``, ``c = cos(theta)``.
+    """
+    s, c = np.sin(theta), np.cos(theta)
+    a = np.zeros((n, n))
+    for i in range(n):
+        a[i, i] = s**i
+        a[i, i + 1 :] = -c * s**i
+    return a
+
+
+def orthog(n: int) -> np.ndarray:
+    """No. 18 — Symmetric orthogonal eigenvector matrix.
+
+    ``A(i, j) = sqrt(2 / (n + 1)) sin(i j pi / (n + 1))`` — the eigenvector
+    matrix of the second-difference matrix; it is orthogonal and symmetric.
+    """
+    i = np.arange(1, n + 1).reshape(-1, 1)
+    j = np.arange(1, n + 1).reshape(1, -1)
+    return np.sqrt(2.0 / (n + 1)) * np.sin(i * j * np.pi / (n + 1))
+
+
+def wilkinson(n: int) -> np.ndarray:
+    """No. 19 — Wilkinson's GEPP growth matrix (growth factor ``2^(n-1)``).
+
+    ``A(i, i) = 1``, ``A(i, j) = -1`` for ``i > j``, last column all ones.
+    Partial pivoting never swaps rows, and the last column doubles at every
+    elimination step.
+    """
+    a = np.eye(n) - np.tril(np.ones((n, n)), -1)
+    a[:, -1] = 1.0
+    return a
+
+
+def foster(n: int, c: float = 1.0, k: float = 2.0) -> np.ndarray:
+    """No. 20 — Foster's Volterra-quadrature matrix (GEPP growth in practice).
+
+    Trapezoid-rule discretisation of the Volterra integral equation
+    ``x(t) - c * integral_0^t k x(s) ds = g(t)`` (Foster 1994, "Gaussian
+    elimination with partial pivoting can fail in practice").  With step
+    ``h = 1/(n-1)``:
+
+    * ``A(i, i) = 1 - c k h / 2``,
+    * ``A(i, 0) = -c k h / 2`` for ``i > 0``,
+    * ``A(i, j) = -c k h`` for ``0 < j < i``,
+    * last column tied to the quadrature of the final node:
+      ``A(i, n-1) = -c k h / 2`` for ``i < n-1``.
+
+    The accumulation of the nearly-equal sub-diagonal entries makes partial
+    pivoting choose poor pivots and the factor growth increases
+    exponentially with ``n`` for suitable ``c k h``.
+    """
+    if n < 2:
+        raise ValueError("foster requires n >= 2")
+    h = 1.0 / (n - 1)
+    ckh = c * k * h
+    a = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                a[i, j] = 1.0 - ckh / 2.0
+            elif j == 0 and i > 0:
+                a[i, j] = -ckh / 2.0
+            elif j < i:
+                a[i, j] = -ckh
+        if i < n - 1:
+            a[i, n - 1] += -ckh / 2.0
+    a[0, 0] = 1.0 - ckh / 2.0
+    return a
+
+
+def wright(n: int, h: float = 0.3) -> np.ndarray:
+    """No. 21 — Wright's multiple-shooting matrix (exponential GEPP growth).
+
+    Two-point boundary-value problems solved by multiple shooting produce
+    an almost block-bidiagonal system (Wright 1993).  With 2x2 blocks,
+    identity diagonal blocks, sub-diagonal blocks ``-exp(M h)`` for a fixed
+    matrix ``M``, and boundary-condition blocks ``B_a`` (top-left) and
+    ``B_b`` (top-right), partial pivoting leaves the growth of the trailing
+    block column unchecked.  ``n`` must be even.
+    """
+    if n % 2 != 0 or n < 4:
+        raise ValueError("wright requires an even n >= 4")
+    m_blocks = n // 2
+    mmat = np.array([[0.0, 1.0], [1.0, 0.0]])
+    emh = sla.expm(mmat * h)
+    a = np.zeros((n, n))
+    # Boundary conditions occupy the first block row.
+    a[0:2, 0:2] = np.eye(2)
+    a[0:2, n - 2 : n] = np.eye(2)
+    # Shooting blocks: row block i couples block columns i-1 and i.
+    for blk in range(1, m_blocks):
+        r = 2 * blk
+        a[r : r + 2, r - 2 : r] = -emh
+        a[r : r + 2, r : r + 2] = np.eye(2)
+    return a
+
+
+# --------------------------------------------------------------------------- #
+# Extra matrix discussed in Section V-C
+# --------------------------------------------------------------------------- #
+def fiedler(n: int) -> np.ndarray:
+    """Fiedler matrix ``A(i, j) = |i - j|`` (zero diagonal).
+
+    Not part of Table III but used in Section V-C: LU NoPiv and LUPP break
+    down on it ("small values rounded up to 0 and then illegally used in a
+    division"), while the hybrid criteria survive.
+    """
+    i = np.arange(n).reshape(-1, 1)
+    j = np.arange(n).reshape(1, -1)
+    return np.abs(i - j).astype(np.float64)

@@ -1,0 +1,12 @@
+"""Performance modelling: normalised GFLOP/s on a simulated Dancer platform."""
+
+from ..runtime.platform import Platform, dancer_platform, laptop_platform
+from .model import PerformanceModel, PerformanceReport
+
+__all__ = [
+    "Platform",
+    "dancer_platform",
+    "laptop_platform",
+    "PerformanceModel",
+    "PerformanceReport",
+]

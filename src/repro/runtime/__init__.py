@@ -1,0 +1,25 @@
+"""PaRSEC-like dataflow runtime: task graph, executors, platform model, simulator."""
+
+from .dataflow import DataflowStage, StepDataflow
+from .executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from .graph import TaskGraph
+from .platform import Platform, dancer_platform, laptop_platform
+from .simulator import ScheduledTask, SimulationResult, simulate
+from .task import Task, TileRef
+
+__all__ = [
+    "Task",
+    "TileRef",
+    "TaskGraph",
+    "Platform",
+    "dancer_platform",
+    "laptop_platform",
+    "simulate",
+    "SimulationResult",
+    "ScheduledTask",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "ExecutionTrace",
+    "StepDataflow",
+    "DataflowStage",
+]

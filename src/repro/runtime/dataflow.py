@@ -1,0 +1,275 @@
+"""Dynamic task-graph selection — the paper's extension of PaRSEC (Figure 1).
+
+A standard tiled LU or QR factorization has a *static* task graph: every
+task is known before execution.  The hybrid algorithm does not — at each
+step either the LU tasks or the QR tasks run, and the choice is made at run
+time by the robustness criterion.  The paper solves this inside PaRSEC by:
+
+* **BACKUP PANEL** tasks that save the diagonal-domain panel tiles before
+  the in-place criterion factorization;
+* **LU ON PANEL** tasks that factor the diagonal domain, compute the local
+  criterion data, and take part in an all-reduce so every node learns the
+  decision;
+* **PROPAGATE** tasks (one per tile) that receive the decision through a
+  control flow and forward the data to the tasks of the *selected*
+  factorization, restoring the backup when QR is chosen;
+* both the LU-step tasks and the QR-step tasks are present in the graph,
+  and the ones on the unselected path are discarded.
+
+:class:`StepDataflow` reproduces that structure for one elimination step:
+it materialises both branches (with control dependencies from the
+propagate layer), and :meth:`StepDataflow.resolve` prunes the branch that
+the decision rules out — returning the task graph that would actually
+execute.  The Figure 1 harness prints this structure; the DAG builder used
+for performance simulation generates only the selected branch directly
+(the pruning outcome), plus the decision-overhead tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..tiles.distribution import BlockCyclicDistribution
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = ["StepDataflow", "DataflowStage"]
+
+
+@dataclass
+class DataflowStage:
+    """A named group of tasks of the per-step dataflow (one box of Figure 1)."""
+
+    name: str
+    tasks: List[int] = field(default_factory=list)
+
+
+class StepDataflow:
+    """Both potential execution paths of one elimination step.
+
+    Parameters
+    ----------
+    dist:
+        Block-cyclic distribution (defines owners and the diagonal domain).
+    k:
+        Elimination step.
+    nb:
+        Tile size (only used for flop annotations).
+    """
+
+    def __init__(self, dist: BlockCyclicDistribution, k: int, nb: int) -> None:
+        self.dist = dist
+        self.k = k
+        self.nb = nb
+        self.graph = TaskGraph()
+        self.stages: Dict[str, DataflowStage] = {}
+        self._lu_branch: List[int] = []
+        self._qr_branch: List[int] = []
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _stage(self, name: str) -> DataflowStage:
+        if name not in self.stages:
+            self.stages[name] = DataflowStage(name=name)
+        return self.stages[name]
+
+    def _add(self, stage: str, branch: Optional[str], **kwargs) -> Task:
+        task = self.graph.add_task(**kwargs)
+        self._stage(stage).tasks.append(task.uid)
+        if branch == "lu":
+            self._lu_branch.append(task.uid)
+        elif branch == "qr":
+            self._qr_branch.append(task.uid)
+        return task
+
+    def _build(self) -> None:
+        k, n = self.k, self.dist.n
+        dist = self.dist
+        panel_rows = dist.panel_rows(k)
+        domain_rows = dist.diagonal_domain_rows(k)
+        diag_owner = dist.diagonal_owner(k)
+
+        # BACKUP PANEL: collect/copy the panel tiles of the diagonal domain.
+        backup_tasks = []
+        for i in domain_rows:
+            t = self._add(
+                "backup_panel",
+                None,
+                kernel="backup_panel",
+                step=k,
+                reads={(i, k)},
+                writes=set(),
+                owner=diag_owner,
+                critical=True,
+            )
+            backup_tasks.append(t.uid)
+
+        # LU ON PANEL: criterion factorization of the domain + local criterion
+        # data on every panel-owning node, then the all-reduce of the decision.
+        lu_on_panel = self._add(
+            "lu_on_panel",
+            None,
+            kernel="panel_getrf",
+            step=k,
+            reads={(i, k) for i in domain_rows},
+            writes={(i, k) for i in domain_rows},
+            owner=diag_owner,
+            critical=True,
+            extra_deps=backup_tasks,
+        )
+        criterion_tasks = [lu_on_panel.uid]
+        for rank in dist.panel_owners(k):
+            if rank == diag_owner:
+                continue
+            t = self._add(
+                "lu_on_panel",
+                None,
+                kernel="criterion_local",
+                step=k,
+                reads={(i, k) for i in dist.domain_rows(k, rank)},
+                writes=set(),
+                owner=rank,
+                critical=True,
+            )
+            criterion_tasks.append(t.uid)
+        allreduce = self._add(
+            "decision",
+            None,
+            kernel="criterion_allreduce",
+            step=k,
+            owner=diag_owner,
+            critical=True,
+            extra_deps=criterion_tasks,
+        )
+
+        # PROPAGATE: one task per panel tile, gated by the decision; they
+        # forward the data to the selected branch (and restore the backup on
+        # the QR path).
+        propagate_tasks = []
+        for i in panel_rows:
+            t = self._add(
+                "propagate",
+                None,
+                kernel="propagate",
+                step=k,
+                reads={(i, k)},
+                writes={(i, k)},
+                owner=dist.owner(i, k),
+                critical=True,
+                extra_deps=[allreduce.uid],
+            )
+            propagate_tasks.append(t.uid)
+
+        # LU branch (variant A1).
+        for i in panel_rows[1:]:
+            self._add(
+                "lu_step",
+                "lu",
+                kernel="trsm",
+                step=k,
+                reads={(i, k), (k, k)},
+                writes={(i, k)},
+                owner=dist.owner(i, k),
+                extra_deps=propagate_tasks,
+            )
+        for j in range(k + 1, n):
+            self._add(
+                "lu_step",
+                "lu",
+                kernel="swptrsm",
+                step=k,
+                reads={(k, j), (k, k)},
+                writes={(k, j)},
+                owner=dist.owner(k, j),
+                extra_deps=propagate_tasks,
+            )
+        for i in panel_rows[1:]:
+            for j in range(k + 1, n):
+                self._add(
+                    "lu_step",
+                    "lu",
+                    kernel="gemm",
+                    step=k,
+                    reads={(i, k), (k, j), (i, j)},
+                    writes={(i, j)},
+                    owner=dist.owner(i, j),
+                )
+
+        # QR branch (hierarchical QR with TS kernels along a flat chain is
+        # shown for readability; the real elimination list depends on the
+        # configured trees).
+        self._add(
+            "qr_step",
+            "qr",
+            kernel="geqrt",
+            step=k,
+            reads={(k, k)},
+            writes={(k, k)},
+            owner=dist.owner(k, k),
+            extra_deps=propagate_tasks,
+        )
+        for j in range(k + 1, n):
+            self._add(
+                "qr_step",
+                "qr",
+                kernel="unmqr",
+                step=k,
+                reads={(k, k), (k, j)},
+                writes={(k, j)},
+                owner=dist.owner(k, j),
+            )
+        for i in panel_rows[1:]:
+            self._add(
+                "qr_step",
+                "qr",
+                kernel="tsqrt",
+                step=k,
+                reads={(k, k), (i, k)},
+                writes={(k, k), (i, k)},
+                owner=dist.owner(i, k),
+            )
+            for j in range(k + 1, n):
+                self._add(
+                    "qr_step",
+                    "qr",
+                    kernel="tsmqr",
+                    step=k,
+                    reads={(i, k), (k, j), (i, j)},
+                    writes={(k, j), (i, j)},
+                    owner=dist.owner(i, j),
+                )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def lu_branch(self) -> List[int]:
+        """Task uids of the LU branch."""
+        return list(self._lu_branch)
+
+    @property
+    def qr_branch(self) -> List[int]:
+        """Task uids of the QR branch."""
+        return list(self._qr_branch)
+
+    def control_tasks(self) -> List[int]:
+        """Uids of the decision-overhead tasks (backup/criterion/propagate)."""
+        return [t.uid for t in self.graph.tasks if t.critical]
+
+    def resolve(self, use_lu: bool) -> List[Task]:
+        """Tasks that actually execute once the decision is known.
+
+        The tasks of the unselected branch are discarded (their owners'
+        local task counters are decremented in the real runtime); what
+        remains is the control layer plus the selected branch, in program
+        order.
+        """
+        discard = set(self._qr_branch if use_lu else self._lu_branch)
+        return [t for t in self.graph.tasks if t.uid not in discard]
+
+    def summary(self) -> Dict[str, int]:
+        """Number of tasks per stage (handy for the Figure 1 harness)."""
+        return {name: len(stage.tasks) for name, stage in self.stages.items()}

@@ -1,0 +1,200 @@
+"""Platform model: nodes, cores, kernel rates and network parameters.
+
+The paper's experiments run on "Dancer", a 16-node cluster with 8 cores per
+node (two Intel Westmere-EP E5606 CPUs at 2.13 GHz), an Infiniband 10G
+interconnect, MKL BLAS and the PaRSEC runtime; the theoretical peak of the
+16 nodes is 1091 GFLOP/s.  We cannot run on that machine, so performance is
+obtained by *simulating* the execution of the task graph on an analytic
+platform model:
+
+* every node has ``cores`` identical workers;
+* each kernel class runs at a per-core rate (GFLOP/s) reflecting how well
+  its BLAS implementation performs — GEMM close to peak, the QR coupling
+  kernels substantially lower ("QR kernels are more complex and much less
+  tuned, hence not that efficient", Section VI);
+* data dependencies crossing nodes pay ``latency + bytes / bandwidth``;
+* control messages (criterion all-reduce, decisions) pay latency-dominated
+  collectives.
+
+The :class:`Platform` dataclass holds those parameters;
+:func:`dancer_platform` returns the calibration used throughout the
+experiments (chosen so that the simulated numbers land in the same range
+as the paper's Table II, e.g. LU NoPiv ≈ 78% of peak at N = 20,000 on a
+4x4 grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..tiles.distribution import ProcessGrid
+
+__all__ = ["Platform", "dancer_platform", "laptop_platform"]
+
+
+#: Default per-core kernel efficiencies, as a fraction of the GEMM rate.
+_DEFAULT_KERNEL_EFFICIENCY: Dict[str, float] = {
+    # LU-step kernels: GEMM-dominated, close to peak.  The 0.87 GEMM
+    # efficiency reflects that even LU NoPiv only reaches ~78% of the
+    # theoretical peak on the real machine (Table II).
+    "gemm": 0.87,
+    "gemm_rhs": 0.87,
+    "trsm": 0.80,
+    "swptrsm": 0.80,
+    "getrf": 0.70,
+    "getrf_discarded": 0.70,
+    # Pairwise-pivoting kernels of LU IncPiv are notoriously slow
+    # ("low-performing kernels", Section VI-C).
+    "tstrf": 0.45,
+    "ssssm": 0.60,
+    "ssssm_rhs": 0.60,
+    # QR-step kernels: more complex, less tuned (Section VI).
+    "geqrt": 0.55,
+    "unmqr": 0.75,
+    "unmqr_rhs": 0.75,
+    "tsqrt": 0.55,
+    "tsmqr": 0.75,
+    "tsmqr_rhs": 0.75,
+    "ttqrt": 0.50,
+    "ttmqr": 0.70,
+    "ttmqr_rhs": 0.70,
+}
+
+
+@dataclass
+class Platform:
+    """Analytic model of a distributed multicore platform.
+
+    Parameters
+    ----------
+    grid:
+        Virtual process grid (one process per node).
+    cores:
+        Cores per node (each runs one kernel at a time).
+    gemm_gflops:
+        Per-core GEMM rate in GFLOP/s; all other kernel rates are derived
+        from it through ``kernel_efficiency``.
+    kernel_efficiency:
+        Per-kernel fraction of the GEMM rate.
+    latency:
+        One-way network latency (seconds) between two nodes.
+    bandwidth:
+        Network bandwidth in bytes/second.
+    allreduce_latency_factor:
+        Multiplier applied to ``latency`` for the criterion all-reduce
+        (a Bruck all-reduce over the panel owners costs ``O(log p)``
+        latencies).
+    pivot_exchange_latency_factor:
+        Multiplier for the per-step panel-wide pivoting of LUPP (column-wise
+        pivot search + row swaps across the panel owners).
+    name:
+        Human-readable platform name.
+    """
+
+    grid: ProcessGrid
+    cores: int
+    gemm_gflops: float
+    kernel_efficiency: Dict[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_KERNEL_EFFICIENCY)
+    )
+    latency: float = 5.0e-6
+    bandwidth: float = 1.25e9
+    allreduce_latency_factor: float = 4.0
+    pivot_exchange_latency_factor: float = 40.0
+    name: str = "generic"
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> int:
+        return self.grid.size
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak rate (GEMM rate of all cores)."""
+        return self.total_cores * self.gemm_gflops
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def kernel_rate(self, kernel: str) -> float:
+        """Per-core execution rate of a kernel, in flops/second."""
+        eff = self.kernel_efficiency.get(kernel, 0.8)
+        return max(eff, 1e-3) * self.gemm_gflops * 1.0e9
+
+    def kernel_duration(self, kernel: str, flops: float) -> float:
+        """Execution time (seconds) of one kernel invocation on one core."""
+        if flops <= 0.0:
+            return 0.0
+        return flops / self.kernel_rate(kernel)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to ship ``nbytes`` between two different nodes."""
+        if nbytes <= 0.0:
+            return self.latency
+        return self.latency + nbytes / self.bandwidth
+
+    def tile_bytes(self, nb: int) -> float:
+        """Size in bytes of one double-precision ``nb x nb`` tile."""
+        return 8.0 * nb * nb
+
+    def allreduce_time(self, participants: int, nbytes: float) -> float:
+        """Cost of the criterion all-reduce among ``participants`` nodes."""
+        if participants <= 1:
+            return 0.0
+        import math
+
+        rounds = max(1.0, math.ceil(math.log2(participants)))
+        return self.allreduce_latency_factor * rounds * self.latency + rounds * (
+            nbytes / self.bandwidth
+        )
+
+    def pivot_exchange_time(self, participants: int, nb: int) -> float:
+        """Cost of one panel-wide pivot search/exchange step of LUPP.
+
+        Partial pivoting over a distributed panel needs ``nb`` column-wise
+        max-reductions plus ``nb`` row exchanges; the model charges a
+        latency-dominated term proportional to the tile width and the
+        (log of the) number of participating nodes.
+        """
+        if participants <= 1:
+            return 0.0
+        import math
+
+        rounds = max(1.0, math.ceil(math.log2(participants)))
+        per_column = self.pivot_exchange_latency_factor * self.latency * rounds
+        return nb * per_column + nb * (8.0 * nb) / self.bandwidth
+
+
+def dancer_platform(grid: ProcessGrid | None = None) -> Platform:
+    """The paper's "Dancer" cluster: 16 nodes x 8 cores, Infiniband 10G.
+
+    The per-core GEMM rate is set to 8.52 GFLOP/s so that the 128 cores add
+    up to the 1091 GFLOP/s theoretical peak quoted in Section V-A.
+    """
+    return Platform(
+        grid=grid if grid is not None else ProcessGrid(4, 4),
+        cores=8,
+        gemm_gflops=8.52,
+        latency=5.0e-6,
+        bandwidth=1.25e9,
+        name="dancer",
+    )
+
+
+def laptop_platform(cores: int = 4) -> Platform:
+    """A single shared-memory node, handy for examples and tests."""
+    return Platform(
+        grid=ProcessGrid(1, 1),
+        cores=cores,
+        gemm_gflops=20.0,
+        latency=0.0,
+        bandwidth=1.0e12,
+        name="laptop",
+    )

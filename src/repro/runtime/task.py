@@ -1,0 +1,88 @@
+"""Tasks: the unit of work of the dataflow runtime.
+
+The paper implements its algorithms on top of PaRSEC, a distributed
+dataflow runtime that executes a graph of *tasks* (tile kernels) whose
+edges are data dependencies between tiles.  This module defines the task
+abstraction used by our pure-Python substitute: a task knows
+
+* which kernel it represents (``getrf``, ``gemm``, ``tsqrt``, ...),
+* which elimination step it belongs to,
+* which tiles it reads and writes (used both to build dependencies and to
+  derive communication volumes),
+* which process (node) owns it (the *owner computes* rule: a task runs on
+  the node owning the tile it writes),
+* its floating-point cost,
+* optionally a Python callable so the threaded executor can actually run
+  the numerical kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Set, Tuple
+
+__all__ = ["TileRef", "Task"]
+
+#: A tile coordinate ``(i, j)``; the right-hand-side tile of row ``i`` is
+#: represented as ``(i, RHS_COLUMN)``.
+TileRef = Tuple[int, int]
+
+#: Pseudo-column index used for right-hand-side tiles in task read/write sets.
+RHS_COLUMN = -1
+
+
+@dataclass
+class Task:
+    """One node of the task graph.
+
+    Attributes
+    ----------
+    uid:
+        Unique integer id within its :class:`~repro.runtime.graph.TaskGraph`.
+    kernel:
+        Lower-case kernel name (drives the cost model).
+    step:
+        Elimination step ``k`` this task belongs to.
+    reads / writes:
+        Tiles read and written.  A tile that is modified in place appears
+        in both sets.
+    owner:
+        Linear rank of the process executing the task.
+    flops:
+        Floating-point operations performed by the task.
+    critical:
+        Marks control/decision tasks (backup, propagate, all-reduce) that
+        belong to the decision-making overhead of the hybrid algorithm.
+    duration_hint:
+        Optional fixed duration in seconds; when set, the simulator uses it
+        instead of deriving a duration from ``flops`` and the kernel rate
+        (used for communication/control tasks such as the criterion
+        all-reduce or the LUPP pivot exchange).
+    fn:
+        Optional callable executed by the threaded/sequential executors.
+    """
+
+    uid: int
+    kernel: str
+    step: int
+    reads: FrozenSet[TileRef] = frozenset()
+    writes: FrozenSet[TileRef] = frozenset()
+    owner: int = 0
+    flops: float = 0.0
+    critical: bool = False
+    duration_hint: Optional[float] = None
+    fn: Optional[Callable[[], None]] = None
+    deps: Set[int] = field(default_factory=set)
+
+    def touches(self) -> FrozenSet[TileRef]:
+        """All tiles accessed by the task."""
+        return self.reads | self.writes
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(uid={self.uid}, kernel={self.kernel!r}, step={self.step}, "
+            f"owner={self.owner}, deps={sorted(self.deps)})"
+        )

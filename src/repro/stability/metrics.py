@@ -1,0 +1,116 @@
+"""Backward-error metrics used by the paper's stability evaluation.
+
+The paper measures backward stability with the HPL3 accuracy test of the
+High-Performance Linpack benchmark:
+
+    HPL3 = ||A x - b||_inf / (||A||_inf ||x||_inf eps N)
+
+where ``x`` is the computed solution and ``eps`` the machine precision.
+Results are reported as the *relative* HPL3: the ratio to the HPL3 value of
+the LUPP reference on the same system.  This module implements HPL3, its
+two HPL companions (HPL1, HPL2), the normwise relative backward error of
+Oettli-Prager/Rigal-Gaches form, and the forward error when the true
+solution is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "hpl1",
+    "hpl2",
+    "hpl3",
+    "normwise_backward_error",
+    "forward_error",
+    "StabilityReport",
+    "stability_report",
+]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def _residual_inf(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    r = a @ x - b
+    return float(np.linalg.norm(np.ravel(r), np.inf))
+
+
+def hpl1(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """HPL1 = ||Ax - b||_inf / (eps ||A||_1 N)."""
+    n = a.shape[0]
+    denom = _EPS * np.linalg.norm(a, 1) * n
+    return _residual_inf(a, x, b) / denom if denom > 0 else np.inf
+
+
+def hpl2(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """HPL2 = ||Ax - b||_inf / (eps ||A||_1 ||x||_1)."""
+    denom = _EPS * np.linalg.norm(a, 1) * np.linalg.norm(np.ravel(x), 1)
+    return _residual_inf(a, x, b) / denom if denom > 0 else np.inf
+
+
+def hpl3(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """The paper's accuracy metric.
+
+    ``HPL3 = ||A x - b||_inf / (||A||_inf ||x||_inf eps N)``; values of
+    order 1 (say below ~16) indicate a backward-stable solve, large values
+    indicate instability.
+    """
+    n = a.shape[0]
+    denom = np.linalg.norm(a, np.inf) * np.linalg.norm(np.ravel(x), np.inf) * _EPS * n
+    return _residual_inf(a, x, b) / denom if denom > 0 else np.inf
+
+
+def normwise_backward_error(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """Rigal-Gaches normwise relative backward error.
+
+    ``||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf)`` — the smallest
+    relative perturbation of ``(A, b)`` for which ``x`` is an exact solution.
+    """
+    denom = np.linalg.norm(a, np.inf) * np.linalg.norm(np.ravel(x), np.inf) + np.linalg.norm(
+        np.ravel(b), np.inf
+    )
+    return _residual_inf(a, x, b) / denom if denom > 0 else np.inf
+
+
+def forward_error(x: np.ndarray, x_true: np.ndarray) -> float:
+    """Relative forward error ``||x - x_true||_inf / ||x_true||_inf``."""
+    denom = float(np.linalg.norm(np.ravel(x_true), np.inf))
+    if denom == 0.0:
+        return float(np.linalg.norm(np.ravel(x), np.inf))
+    return float(np.linalg.norm(np.ravel(x) - np.ravel(x_true), np.inf)) / denom
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """All stability metrics of one solve, for convenience in experiments."""
+
+    hpl1: float
+    hpl2: float
+    hpl3: float
+    backward_error: float
+    forward_error: Optional[float] = None
+
+    def relative_to(self, reference: "StabilityReport") -> float:
+        """Relative HPL3 w.r.t. a reference run (the paper's y-axis)."""
+        if reference.hpl3 == 0.0:
+            return np.inf
+        return self.hpl3 / reference.hpl3
+
+
+def stability_report(
+    a: np.ndarray,
+    x: np.ndarray,
+    b: np.ndarray,
+    x_true: Optional[np.ndarray] = None,
+) -> StabilityReport:
+    """Compute every metric of :class:`StabilityReport` for one solve."""
+    return StabilityReport(
+        hpl1=hpl1(a, x, b),
+        hpl2=hpl2(a, x, b),
+        hpl3=hpl3(a, x, b),
+        backward_error=normwise_backward_error(a, x, b),
+        forward_error=None if x_true is None else forward_error(x, x_true),
+    )

@@ -1,0 +1,6 @@
+"""Tiled-matrix containers and 2D block-cyclic data distribution."""
+
+from .distribution import BlockCyclicDistribution, ProcessGrid
+from .tile_matrix import TileMatrix
+
+__all__ = ["TileMatrix", "ProcessGrid", "BlockCyclicDistribution"]

@@ -1,0 +1,21 @@
+"""Reduction trees for the hierarchical tiled QR (HQR) elimination step."""
+
+from .base import Elimination, ReductionTree, elimination_depth, validate_eliminations
+from .binary import BinaryTree
+from .fibonacci import FibonacciTree, fibonacci_batches
+from .flat import FlatTree
+from .greedy import GreedyTree
+from .hierarchical import HierarchicalTree
+
+__all__ = [
+    "Elimination",
+    "ReductionTree",
+    "validate_eliminations",
+    "elimination_depth",
+    "FlatTree",
+    "BinaryTree",
+    "GreedyTree",
+    "FibonacciTree",
+    "fibonacci_batches",
+    "HierarchicalTree",
+]

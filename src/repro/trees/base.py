@@ -1,0 +1,134 @@
+"""Reduction trees for the tiled/hierarchical QR elimination step.
+
+A QR step at panel ``k`` must zero out every tile below the diagonal tile.
+The paper (following the HQR framework [Dongarra et al. 2013]) describes
+the step entirely by its *elimination list*: the ordered list of operations
+``elim(i, eliminator(i, k), k)`` where tile ``(i, k)`` is killed by the
+eliminator tile ``(eliminator(i, k), k)``.  Two kinds of eliminations
+exist:
+
+* **TS** (Triangle on top of Square): the killed tile is still a full
+  square tile; only the eliminator must have been triangularized
+  (GEQRT) beforehand.
+* **TT** (Triangle on top of Triangle): both tiles are already triangular;
+  used when merging eliminators, e.g. across domains.
+
+The shape of the tree does not change the numerical result (all trees are
+unconditionally stable), only the amount of parallelism: a flat tree
+serializes the panel, whereas greedy/Fibonacci trees have logarithmic
+critical paths.  This module defines the common interface; concrete trees
+live in the sibling modules, and :class:`repro.trees.hierarchical.HierarchicalTree`
+composes an intra-domain tree with an inter-domain tree exactly as the
+paper's default configuration (GREEDY inside nodes, FIBONACCI between
+nodes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["Elimination", "ReductionTree", "validate_eliminations", "elimination_depth"]
+
+
+@dataclass(frozen=True)
+class Elimination:
+    """One elimination ``elim(killed, eliminator, k)`` of a QR panel.
+
+    Attributes
+    ----------
+    killed:
+        Tile-row index of the tile being zeroed out.
+    eliminator:
+        Tile-row index of the eliminator tile.
+    kind:
+        ``"TS"`` (square tile killed by a triangular one) or ``"TT"``
+        (triangular tile killed by a triangular one).
+    """
+
+    killed: int
+    eliminator: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("TS", "TT"):
+            raise ValueError(f"elimination kind must be 'TS' or 'TT', got {self.kind!r}")
+        if self.killed == self.eliminator:
+            raise ValueError("a tile cannot eliminate itself")
+
+
+class ReductionTree(ABC):
+    """Strategy producing the elimination list of one QR panel.
+
+    ``rows`` is the ordered list of tile-row indices of the panel
+    (``rows[0]`` is the diagonal row, which must be the unique survivor).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        """Return the ordered elimination list reducing ``rows`` to ``rows[0]``."""
+
+    def depth(self, rows: Sequence[int]) -> int:
+        """Length of the critical path of the elimination list (in eliminations)."""
+        return elimination_depth(self.eliminations(rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def validate_eliminations(rows: Sequence[int], elims: Sequence[Elimination]) -> None:
+    """Check that an elimination list is a valid reduction of ``rows``.
+
+    Rules enforced (Section II-B of the paper):
+
+    * every row except ``rows[0]`` is killed exactly once;
+    * ``rows[0]`` is never killed;
+    * an eliminator can only be a row of the panel that has not been killed
+      *before* it is used;
+    * concurrent eliminations involve disjoint tile pairs — implied by the
+      "killed exactly once / not yet killed" rules for a sequential list.
+
+    Raises ``ValueError`` on the first violation.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("empty panel")
+    alive = set(rows)
+    killed_set = set()
+    root = rows[0]
+    for e in elims:
+        if e.killed not in alive:
+            raise ValueError(f"row {e.killed} killed twice or not in panel")
+        if e.eliminator not in alive:
+            raise ValueError(f"eliminator {e.eliminator} already killed or not in panel")
+        if e.killed == root:
+            raise ValueError("the diagonal row must survive the reduction")
+        alive.remove(e.killed)
+        killed_set.add(e.killed)
+    expected_killed = set(rows) - {root}
+    if killed_set != expected_killed:
+        missing = sorted(expected_killed - killed_set)
+        raise ValueError(f"rows {missing} were never eliminated")
+
+
+def elimination_depth(elims: Sequence[Elimination]) -> int:
+    """Critical-path length of an elimination list.
+
+    Each elimination becomes ready when both its tiles are ready (a tile is
+    ready at time 0, or after the last elimination that touched it).  The
+    returned depth is the completion time of the last elimination, counting
+    each elimination as one time unit — the standard coarse model used to
+    compare reduction trees.
+    """
+    ready: Dict[int, int] = {}
+    depth = 0
+    for e in elims:
+        start = max(ready.get(e.killed, 0), ready.get(e.eliminator, 0))
+        finish = start + 1
+        ready[e.eliminator] = finish
+        ready[e.killed] = finish
+        depth = max(depth, finish)
+    return depth

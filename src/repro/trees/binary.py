@@ -1,0 +1,39 @@
+"""Binary reduction tree (TT merges, logarithmic critical path)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Elimination, ReductionTree
+
+__all__ = ["BinaryTree"]
+
+
+class BinaryTree(ReductionTree):
+    """Pairwise TT reduction.
+
+    Every row is first (conceptually) triangularized, then surviving rows
+    are merged two by two, round after round, until only the first row
+    remains.  The critical path is ``ceil(log2(len(rows)))`` TT merges, at
+    the price of one GEQRT per row and TT kernels everywhere — the
+    classical trade-off of binary communication trees, best suited to the
+    inter-node level.
+    """
+
+    name = "binary"
+
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        alive = list(rows)
+        out: List[Elimination] = []
+        while len(alive) > 1:
+            survivors: List[int] = []
+            # Pair neighbours: (0,1), (2,3), ... — the lower-position row
+            # survives, keeping the diagonal row (position 0) alive.
+            for idx in range(0, len(alive), 2):
+                if idx + 1 < len(alive):
+                    out.append(
+                        Elimination(killed=alive[idx + 1], eliminator=alive[idx], kind="TT")
+                    )
+                survivors.append(alive[idx])
+            alive = survivors
+        return out

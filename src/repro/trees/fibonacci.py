@@ -1,0 +1,67 @@
+"""Fibonacci reduction tree (short critical path, good inter-panel pipelining)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Elimination, ReductionTree
+
+__all__ = ["FibonacciTree", "fibonacci_batches"]
+
+
+def fibonacci_batches(count: int) -> List[int]:
+    """Split ``count`` items into batches of Fibonacci sizes ``1, 1, 2, 3, 5, ...``.
+
+    The last batch is truncated so the sizes sum to ``count`` exactly.
+    """
+    if count <= 0:
+        return []
+    sizes: List[int] = []
+    a, b = 1, 1
+    remaining = count
+    while remaining > 0:
+        take = min(a, remaining)
+        sizes.append(take)
+        remaining -= take
+        a, b = b, a + b
+    return sizes
+
+
+class FibonacciTree(ReductionTree):
+    """Fibonacci-batched reduction, used by the paper *between* nodes.
+
+    The panel rows below the diagonal are grouped (from the top) into
+    batches whose sizes follow the Fibonacci sequence.  Each batch is
+    first reduced internally with a TS chain rooted at its top row, and the
+    batch survivors are then folded into the diagonal row with TT merges,
+    deepest batch first.  Larger batches sit lower in the panel and start
+    their (longer) internal reductions immediately, so consecutive panels
+    pipeline well — the property for which the paper selects a FIBONACCI
+    tree at the inter-node level (Section IV, "QR STEP").
+    """
+
+    name = "fibonacci"
+
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        rows = list(rows)
+        root = rows[0]
+        below = rows[1:]
+        if not below:
+            return []
+
+        out: List[Elimination] = []
+        batch_heads: List[int] = []
+        start = 0
+        for size in fibonacci_batches(len(below)):
+            batch = below[start : start + size]
+            start += size
+            head = batch[0]
+            batch_heads.append(head)
+            # Intra-batch reduction: flat TS chain rooted at the batch head.
+            for row in batch[1:]:
+                out.append(Elimination(killed=row, eliminator=head, kind="TS"))
+        # Fold the batch heads into the diagonal row, deepest batch first so
+        # that the largest batches (which finish last) are merged last.
+        for head in reversed(batch_heads):
+            out.append(Elimination(killed=head, eliminator=root, kind="TT"))
+        return out

@@ -1,0 +1,27 @@
+"""Flat reduction tree (PLASMA-style TS chain)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Elimination, ReductionTree
+
+__all__ = ["FlatTree"]
+
+
+class FlatTree(ReductionTree):
+    """The diagonal row eliminates every other row, one after the other.
+
+    All eliminations use TS kernels (the killed tiles are still square) and
+    all share the same eliminator, so they are fully serialized: the
+    critical path is ``len(rows) - 1``.  This is the tree used by the
+    original tiled QR of PLASMA inside a panel; it minimises the number of
+    GEQRT calls but offers no parallelism along the panel.
+    """
+
+    name = "flat"
+
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        rows = list(rows)
+        root = rows[0]
+        return [Elimination(killed=i, eliminator=root, kind="TS") for i in rows[1:]]

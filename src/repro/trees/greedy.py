@@ -1,0 +1,42 @@
+"""Greedy reduction tree (maximum eliminations per round)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Elimination, ReductionTree
+
+__all__ = ["GreedyTree"]
+
+
+class GreedyTree(ReductionTree):
+    """Kill as many tiles as possible at every round.
+
+    Following the GREEDY strategy of the HQR framework [Dongarra et al.
+    2013], every round pairs the surviving rows so that the top half of
+    the alive set eliminates the bottom half (TT kernels); with ``m`` alive
+    rows, ``floor(m/2)`` tiles disappear per round and the critical path is
+    ``ceil(log2(m))`` rounds.  The paper uses this tree *inside* each node,
+    where all tiles of the domain are local and the extra GEQRT per row is
+    cheap compared to the gain in parallelism.
+    """
+
+    name = "greedy"
+
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        alive = list(rows)
+        out: List[Elimination] = []
+        while len(alive) > 1:
+            m = len(alive)
+            kills = m // 2
+            survivors = alive[: m - kills]
+            victims = alive[m - kills :]
+            # Pair the bottom-most victims with the bottom-most survivors so
+            # that the diagonal row (alive[0]) only works when unavoidable.
+            for offset in range(kills):
+                eliminator = survivors[len(survivors) - kills + offset]
+                out.append(
+                    Elimination(killed=victims[offset], eliminator=eliminator, kind="TT")
+                )
+            alive = survivors
+        return out

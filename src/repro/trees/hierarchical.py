@@ -1,0 +1,91 @@
+"""Hierarchical reduction tree: intra-domain tree + inter-domain tree.
+
+The paper's QR step runs an instance of the generic hierarchical QR
+factorization (HQR [8]): inside each *domain* (the panel tiles owned by one
+node) a local tree eliminates everything down to one triangular tile
+without inter-node communication; the per-domain survivors are then merged
+across nodes by a second-level tree using TT kernels.  The paper's default —
+used in all of its experiments and ours — is a GREEDY tree inside nodes and
+a FIBONACCI tree between nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..tiles.distribution import BlockCyclicDistribution
+from .base import Elimination, ReductionTree
+from .fibonacci import FibonacciTree
+from .greedy import GreedyTree
+
+__all__ = ["HierarchicalTree"]
+
+
+class HierarchicalTree(ReductionTree):
+    """Two-level reduction tree matching a multicore-cluster topology.
+
+    Parameters
+    ----------
+    distribution:
+        Block-cyclic distribution used to group panel rows into domains.
+        When ``None``, the whole panel forms a single domain (shared-memory
+        behaviour) and only the intra-domain tree is used.
+    intra_tree:
+        Tree used inside each domain (default: :class:`GreedyTree`).
+    inter_tree:
+        Tree used across domain survivors (default: :class:`FibonacciTree`).
+    step:
+        Panel index ``k``; needed to query the distribution for domains.
+        It can also be supplied per-call via :meth:`eliminations_for_step`.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        distribution: Optional[BlockCyclicDistribution] = None,
+        intra_tree: Optional[ReductionTree] = None,
+        inter_tree: Optional[ReductionTree] = None,
+        step: int = 0,
+    ) -> None:
+        self.distribution = distribution
+        self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
+        self.inter_tree = inter_tree if inter_tree is not None else FibonacciTree()
+        self.step = step
+
+    def eliminations(self, rows: Sequence[int]) -> List[Elimination]:
+        return self.eliminations_for_step(self.step, rows)
+
+    def eliminations_for_step(self, k: int, rows: Sequence[int]) -> List[Elimination]:
+        """Elimination list of panel ``k`` over the given tile rows."""
+        rows = list(rows)
+        if not rows:
+            return []
+        if self.distribution is None:
+            return list(self.intra_tree.eliminations(rows))
+
+        dist = self.distribution
+        diag_rank = dist.owner(rows[0], k)
+        # Group rows by owning rank, preserving panel order inside a group.
+        groups: dict[int, List[int]] = {}
+        for i in rows:
+            groups.setdefault(dist.owner(i, k), []).append(i)
+
+        out: List[Elimination] = []
+        survivors: List[int] = []
+        # The diagonal domain is reduced first and its survivor leads the
+        # inter-domain reduction (it must hold the final R tile).
+        ordered_ranks = [diag_rank] + [r for r in sorted(groups) if r != diag_rank]
+        for rank in ordered_ranks:
+            domain_rows = groups[rank]
+            out.extend(self.intra_tree.eliminations(domain_rows))
+            survivors.append(domain_rows[0])
+
+        if len(survivors) > 1:
+            inter = self.inter_tree.eliminations(survivors)
+            # Inter-domain merges always couple two triangular tiles.
+            out.extend(
+                Elimination(killed=e.killed, eliminator=e.eliminator, kind="TT")
+                for e in inter
+            )
+        return out

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tiles import ProcessGrid
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_system(rng):
+    """A well-conditioned 48x48 random system (6 tiles of 8)."""
+    n = 48
+    a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+    x = rng.standard_normal(n)
+    b = a @ x
+    return a, b, x
+
+
+@pytest.fixture
+def grid22():
+    return ProcessGrid(2, 2)
+
+
+@pytest.fixture
+def grid41():
+    return ProcessGrid(4, 1)

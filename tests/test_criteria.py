@@ -1,0 +1,197 @@
+"""Tests for the robustness criteria of Section III."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.criteria import (
+    AlwaysLU,
+    AlwaysQR,
+    MaxCriterion,
+    MumpsCriterion,
+    PanelInfo,
+    RandomCriterion,
+    SumCriterion,
+    mumps_estimate_max,
+)
+
+
+def make_info(
+    diag_inv_norm_inv=10.0,
+    offdiag_norms=(1.0, 2.0, 3.0),
+    local_max=None,
+    away_max=None,
+    pivots=None,
+    nb=4,
+    k=0,
+    n=5,
+):
+    """Build a PanelInfo with sensible defaults for criterion unit tests."""
+    local_max = np.ones(nb) if local_max is None else np.asarray(local_max, float)
+    away_max = np.ones(nb) if away_max is None else np.asarray(away_max, float)
+    pivots = np.ones(nb) if pivots is None else np.asarray(pivots, float)
+    return PanelInfo(
+        k=k,
+        n=n,
+        nb=nb,
+        diag_inv_norm_inv=diag_inv_norm_inv,
+        offdiag_tile_norms=list(offdiag_norms),
+        local_max=local_max,
+        away_max=away_max,
+        pivots=pivots,
+        domain_rows=[k],
+    )
+
+
+class TestPanelInfo:
+    def test_max_and_sum(self):
+        info = make_info(offdiag_norms=(1.0, 5.0, 2.0))
+        assert info.max_offdiag_norm == 5.0
+        assert info.sum_offdiag_norm == 8.0
+
+    def test_last_panel(self):
+        info = make_info(offdiag_norms=(), k=4, n=5)
+        assert info.is_last_panel
+        assert info.max_offdiag_norm == 0.0
+        assert info.sum_offdiag_norm == 0.0
+
+
+class TestMaxCriterion:
+    def test_accepts_when_diagonal_dominates(self):
+        info = make_info(diag_inv_norm_inv=10.0, offdiag_norms=(1.0, 2.0))
+        assert MaxCriterion(alpha=1.0).decide(info)
+
+    def test_rejects_when_diagonal_weak(self):
+        info = make_info(diag_inv_norm_inv=0.1, offdiag_norms=(1.0, 2.0))
+        assert not MaxCriterion(alpha=1.0).decide(info)
+
+    def test_alpha_scales_threshold(self):
+        info = make_info(diag_inv_norm_inv=1.0, offdiag_norms=(3.0,))
+        assert not MaxCriterion(alpha=1.0).decide(info)
+        assert MaxCriterion(alpha=5.0).decide(info)
+
+    def test_alpha_inf_always_lu(self):
+        info = make_info(diag_inv_norm_inv=0.0, offdiag_norms=(1e30,))
+        assert MaxCriterion(alpha=float("inf")).decide(info)
+
+    def test_alpha_zero_rejects_nonzero_panel(self):
+        info = make_info(diag_inv_norm_inv=100.0, offdiag_norms=(0.5,))
+        assert not MaxCriterion(alpha=0.0).decide(info)
+
+    def test_alpha_zero_accepts_zero_panel(self):
+        info = make_info(diag_inv_norm_inv=100.0, offdiag_norms=())
+        assert MaxCriterion(alpha=0.0).decide(info)
+
+    def test_singular_diagonal_forces_qr(self):
+        info = make_info(diag_inv_norm_inv=0.0, offdiag_norms=(1.0,))
+        assert not MaxCriterion(alpha=1e6).decide(info)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            MaxCriterion(alpha=-1.0)
+
+    def test_growth_bound(self):
+        assert MaxCriterion(alpha=1.0).growth_bound(10) == pytest.approx(2.0**9)
+        assert math.isinf(MaxCriterion(alpha=float("inf")).growth_bound(10))
+
+    def test_decision_exposes_sides(self):
+        info = make_info(diag_inv_norm_inv=2.0, offdiag_norms=(3.0,))
+        d = MaxCriterion(alpha=1.0).evaluate(info)
+        assert d.lhs == pytest.approx(2.0)
+        assert d.rhs == pytest.approx(3.0)
+        assert not d.use_lu
+
+
+class TestSumCriterion:
+    def test_stricter_than_max(self):
+        # Diagonal beats the max off-diagonal tile but not their sum.
+        info = make_info(diag_inv_norm_inv=4.0, offdiag_norms=(3.0, 3.0))
+        assert MaxCriterion(alpha=1.0).decide(info)
+        assert not SumCriterion(alpha=1.0).decide(info)
+
+    def test_accepts_block_diagonally_dominant(self):
+        info = make_info(diag_inv_norm_inv=7.0, offdiag_norms=(3.0, 3.0))
+        assert SumCriterion(alpha=1.0).decide(info)
+
+    def test_growth_bound_linear(self):
+        assert SumCriterion(alpha=1.0).growth_bound(20) == pytest.approx(20.0)
+
+    def test_alpha_inf(self):
+        info = make_info(diag_inv_norm_inv=0.0, offdiag_norms=(1.0,))
+        assert SumCriterion(alpha=float("inf")).decide(info)
+
+
+class TestMumpsCriterion:
+    def test_estimate_max_formula(self):
+        local = np.array([2.0, 4.0, 1.0])
+        away = np.array([1.0, 1.0, 1.0])
+        pivots = np.array([4.0, 2.0, 3.0])
+        est = mumps_estimate_max(local, away, pivots)
+        # growth = [2.0, 0.5, 3.0]; estimate(j) = away(j) * prod_{i<j} growth(i)
+        np.testing.assert_allclose(est, [1.0, 2.0, 1.0])
+
+    def test_estimate_max_zero_local_column(self):
+        est = mumps_estimate_max(
+            np.array([0.0, 1.0]), np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        )
+        np.testing.assert_allclose(est, [1.0, 1.0])
+
+    def test_accepts_good_local_pivots(self):
+        info = make_info(
+            local_max=[1.0, 1.0], away_max=[0.5, 0.5], pivots=[1.0, 1.0], nb=2
+        )
+        assert MumpsCriterion(alpha=1.0).decide(info)
+
+    def test_rejects_when_away_entries_dominate(self):
+        info = make_info(
+            local_max=[1.0, 1.0], away_max=[10.0, 10.0], pivots=[1.0, 1.0], nb=2
+        )
+        assert not MumpsCriterion(alpha=1.0).decide(info)
+
+    def test_alpha_loosens(self):
+        info = make_info(
+            local_max=[1.0, 1.0], away_max=[3.0, 3.0], pivots=[1.0, 1.0], nb=2
+        )
+        assert not MumpsCriterion(alpha=1.0).decide(info)
+        assert MumpsCriterion(alpha=5.0).decide(info)
+
+    def test_domain_local_panel_accepts(self):
+        info = make_info(away_max=[0.0, 0.0, 0.0, 0.0])
+        assert MumpsCriterion(alpha=0.5).decide(info)
+
+    def test_alpha_inf(self):
+        info = make_info(away_max=[1e30] * 4, pivots=[1e-30] * 4)
+        assert MumpsCriterion(alpha=float("inf")).decide(info)
+
+
+class TestRandomAndFixed:
+    def test_random_probability_extremes(self):
+        info = make_info()
+        always = RandomCriterion(lu_probability=1.0, seed=0)
+        never = RandomCriterion(lu_probability=0.0, seed=0)
+        assert all(always.decide(info) for _ in range(20))
+        assert not any(never.decide(info) for _ in range(20))
+
+    def test_random_is_reproducible_after_reset(self):
+        info = make_info()
+        crit = RandomCriterion(lu_probability=0.5, seed=42)
+        first = [crit.decide(info) for _ in range(10)]
+        crit.reset()
+        second = [crit.decide(info) for _ in range(10)]
+        assert first == second
+
+    def test_random_fraction_close_to_probability(self):
+        info = make_info()
+        crit = RandomCriterion(lu_probability=0.7, seed=3)
+        draws = [crit.decide(info) for _ in range(500)]
+        assert 0.6 < np.mean(draws) < 0.8
+
+    def test_random_validates_probability(self):
+        with pytest.raises(ValueError):
+            RandomCriterion(lu_probability=1.5)
+
+    def test_fixed_policies(self):
+        info = make_info(diag_inv_norm_inv=0.0)
+        assert AlwaysLU().decide(info)
+        assert not AlwaysQR().decide(info)

@@ -1,0 +1,189 @@
+"""Tests for the task-graph builder and the performance model."""
+
+import numpy as np
+import pytest
+
+from repro import HQRSolver, HybridLUQRSolver, LUNoPivSolver, MaxCriterion, ProcessGrid
+from repro.core.dag_builder import (
+    FactorizationSpec,
+    build_task_graph,
+    spec_from_factorization,
+)
+from repro.kernels.flops import fake_flops, true_flops
+from repro.perf import PerformanceModel, dancer_platform
+from repro.runtime.simulator import simulate
+
+
+GRID = ProcessGrid(2, 2)
+
+
+class TestFactorizationSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactorizationSpec(n_tiles=3, tile_size=8, step_kinds=["LU"])
+        with pytest.raises(ValueError):
+            FactorizationSpec(n_tiles=2, tile_size=8, step_kinds=["LU", "XX"])
+
+    def test_lu_fraction(self):
+        spec = FactorizationSpec(4, 8, ["LU", "QR", "LU", "LU"])
+        assert spec.lu_fraction == pytest.approx(0.75)
+
+    def test_spec_from_factorization(self, rng):
+        a = rng.standard_normal((32, 32)) + 4 * np.eye(32)
+        fact = HybridLUQRSolver(8, MaxCriterion(10.0), grid=GRID).factor(a, np.ones(32))
+        spec = spec_from_factorization(fact, grid=GRID)
+        assert spec.n_tiles == 4
+        assert spec.tile_size == 8
+        assert spec.step_kinds == fact.step_kinds
+        assert spec.decision_overhead
+        assert spec.algorithm == "LUQR"
+
+
+class TestBuildTaskGraph:
+    def test_all_lu_task_count_matches_table1(self):
+        n = 6
+        spec = FactorizationSpec(n, 8, ["LU"] * n, algorithm="LU NoPiv",
+                                 decision_overhead=False, grid=GRID)
+        graph = build_task_graph(spec)
+        counts = graph.kernel_counts()
+        # Per step k: 1 getrf + (n-k-1) trsm + (n-k-1) swptrsm + (n-k-1)^2 gemm.
+        assert counts["getrf"] == n
+        expected_trsm = sum(n - k - 1 for k in range(n))
+        assert counts["trsm"] == expected_trsm
+        assert counts["swptrsm"] == expected_trsm
+        assert counts["gemm"] == sum((n - k - 1) ** 2 for k in range(n))
+
+    def test_hybrid_includes_decision_tasks(self):
+        n = 4
+        spec = FactorizationSpec(n, 8, ["LU", "QR", "LU", "LU"], algorithm="LUQR",
+                                 decision_overhead=True, grid=GRID)
+        graph = build_task_graph(spec)
+        counts = graph.kernel_counts()
+        assert counts["panel_backup"] == n
+        assert counts["criterion_allreduce"] == n
+        assert counts["panel_restore"] == 1  # only QR steps restore
+
+    def test_lupp_has_pivot_exchange_per_step(self):
+        n = 5
+        spec = FactorizationSpec(n, 8, ["LU"] * n, algorithm="LUPP",
+                                 decision_overhead=False, grid=GRID)
+        counts = build_task_graph(spec).kernel_counts()
+        assert counts["panel_pivot_exchange"] == n
+
+    def test_incpiv_uses_pairwise_kernels(self):
+        n = 4
+        spec = FactorizationSpec(n, 8, ["LU"] * n, algorithm="LU IncPiv",
+                                 decision_overhead=False, grid=GRID)
+        counts = build_task_graph(spec).kernel_counts()
+        assert "tstrf" in counts and "ssssm" in counts
+        assert "trsm" not in counts
+
+    def test_qr_steps_generate_qr_kernels(self):
+        n = 5
+        spec = FactorizationSpec(n, 8, ["QR"] * n, algorithm="HQR",
+                                 decision_overhead=False, grid=GRID)
+        counts = build_task_graph(spec).kernel_counts()
+        assert counts.get("geqrt", 0) > 0
+        assert counts.get("tsmqr", 0) + counts.get("ttmqr", 0) > 0
+        assert "gemm" not in counts
+
+    def test_owners_follow_block_cyclic(self):
+        n = 4
+        spec = FactorizationSpec(n, 8, ["LU"] * n, algorithm="LU NoPiv",
+                                 decision_overhead=False, grid=GRID)
+        graph = build_task_graph(spec)
+        from repro.tiles import BlockCyclicDistribution
+
+        dist = BlockCyclicDistribution(GRID, n)
+        for task in graph.tasks:
+            if task.kernel == "gemm":
+                (i, j) = sorted(task.writes)[0]
+                assert task.owner == dist.owner(i, j)
+
+    def test_total_flops_close_to_formula(self):
+        n, nb = 12, 32
+        spec = FactorizationSpec(n, nb, ["LU"] * n, algorithm="LU NoPiv",
+                                 decision_overhead=False, grid=GRID)
+        graph = build_task_graph(spec)
+        assert graph.total_flops() == pytest.approx(fake_flops(n * nb), rel=0.15)
+
+    def test_graph_is_schedulable(self):
+        spec = FactorizationSpec(5, 8, ["LU", "QR", "LU", "QR", "LU"], algorithm="LUQR",
+                                 decision_overhead=True, grid=GRID)
+        platform = dancer_platform(GRID)
+        graph = build_task_graph(spec, platform=platform)
+        sim = simulate(graph, platform, 8)
+        assert sim.makespan > 0.0
+        assert len(sim.schedule) == len(graph)
+
+
+class TestPerformanceModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PerformanceModel(dancer_platform(ProcessGrid(4, 4)))
+
+    def _spec(self, kinds, algorithm, overhead):
+        return FactorizationSpec(
+            n_tiles=len(kinds), tile_size=64, step_kinds=list(kinds),
+            algorithm=algorithm, decision_overhead=overhead, grid=ProcessGrid(4, 4),
+        )
+
+    def test_lu_faster_than_qr(self, model):
+        n = 20
+        lu = model.simulate_spec(self._spec(["LU"] * n, "LU NoPiv", False))
+        qr = model.simulate_spec(self._spec(["QR"] * n, "HQR", False))
+        assert lu.execution_time < qr.execution_time
+        assert lu.fake_gflops > qr.fake_gflops
+
+    def test_fake_vs_true_gflops(self, model):
+        n = 16
+        qr = model.simulate_spec(self._spec(["QR"] * n, "HQR", False))
+        assert qr.true_gflops == pytest.approx(2.0 * qr.fake_gflops, rel=1e-9)
+        lu = model.simulate_spec(self._spec(["LU"] * n, "LU NoPiv", False))
+        assert lu.true_gflops == pytest.approx(lu.fake_gflops, rel=1e-9)
+
+    def test_decision_overhead_costs_time(self, model):
+        n = 16
+        hqr = model.simulate_spec(self._spec(["QR"] * n, "HQR", False))
+        luqr0 = model.simulate_spec(self._spec(["QR"] * n, "LUQR", True))
+        overhead = luqr0.execution_time / hqr.execution_time - 1.0
+        assert 0.0 < overhead < 0.6
+
+    def test_hybrid_interpolates_between_extremes(self, model):
+        n = 20
+        all_lu = model.simulate_spec(self._spec(["LU"] * n, "LUQR", True))
+        half = model.simulate_spec(self._spec((["LU", "QR"] * n)[:n], "LUQR", True))
+        all_qr = model.simulate_spec(self._spec(["QR"] * n, "LUQR", True))
+        assert all_lu.fake_gflops > half.fake_gflops > all_qr.fake_gflops
+
+    def test_lupp_slower_than_lu_nopiv(self, model):
+        n = 20
+        nopiv = model.simulate_spec(self._spec(["LU"] * n, "LU NoPiv", False))
+        lupp = model.simulate_spec(self._spec(["LU"] * n, "LUPP", False))
+        assert lupp.execution_time > nopiv.execution_time
+
+    def test_report_fields_and_row(self, model):
+        n = 8
+        rep = model.simulate_spec(self._spec(["LU"] * n, "LU NoPiv", False))
+        assert rep.n_order == 8 * 64
+        assert 0.0 < rep.fake_peak_fraction <= 1.0
+        assert rep.platform_peak_gflops == pytest.approx(1091.0, rel=0.01)
+        row = rep.as_row()
+        assert set(row) >= {"algorithm", "N", "time_s", "fake_gflops", "true_gflops"}
+        assert rep.lu_percentage == 100.0
+
+    def test_simulate_factorization_end_to_end(self, rng):
+        a = rng.standard_normal((48, 48)) + 4 * np.eye(48)
+        fact = HybridLUQRSolver(8, MaxCriterion(20.0), grid=GRID).factor(a, np.ones(48))
+        model = PerformanceModel(dancer_platform(GRID))
+        rep = model.simulate_factorization(fact, grid=GRID)
+        assert rep.algorithm == "LUQR"
+        assert rep.n_tiles == 6
+        assert rep.lu_fraction == pytest.approx(fact.lu_fraction)
+
+    def test_true_flops_consistency_with_report(self, model):
+        n = 10
+        kinds = ["LU"] * 7 + ["QR"] * 3
+        rep = model.simulate_spec(self._spec(kinds, "LUQR", True))
+        expected_ratio = true_flops(rep.n_order, 0.7) / fake_flops(rep.n_order)
+        assert rep.true_gflops / rep.fake_gflops == pytest.approx(expected_ratio, rel=1e-9)

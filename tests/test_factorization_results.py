@@ -1,0 +1,79 @@
+"""Tests for the result objects and the solver-base plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import HybridLUQRSolver, MaxCriterion, ProcessGrid
+from repro.core import pad_to_tile_multiple
+from repro.core.factorization import SolveResult, StepRecord
+from repro.trees import BinaryTree, FibonacciTree, FlatTree, GreedyTree
+
+
+class TestPadding:
+    def test_no_padding_when_multiple(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal(16)
+        a2, b2, pad = pad_to_tile_multiple(a, b, 8)
+        assert pad == 0
+        assert a2 is a
+
+    def test_padding_preserves_leading_solution(self, rng):
+        n, nb = 13, 4
+        a = rng.standard_normal((n, n)) + 4 * np.eye(n)
+        x = rng.standard_normal(n)
+        b = a @ x
+        a2, b2, pad = pad_to_tile_multiple(a, b, nb)
+        assert pad == 3
+        assert a2.shape == (16, 16)
+        x2 = np.linalg.solve(a2, b2[:, 0])
+        np.testing.assert_allclose(x2[:n], x, atol=1e-10)
+        np.testing.assert_allclose(x2[n:], 0.0, atol=1e-10)
+
+    def test_padding_without_rhs(self, rng):
+        a2, b2, pad = pad_to_tile_multiple(rng.standard_normal((10, 10)), None, 4)
+        assert pad == 2 and b2 is None
+
+
+class TestStepRecord:
+    def test_add_kernel_accumulates(self):
+        r = StepRecord(k=0, kind="LU")
+        r.add_kernel("gemm", 3)
+        r.add_kernel("gemm")
+        assert r.kernel_counts["gemm"] == 4
+        assert r.is_lu and not r.is_qr
+
+
+class TestSolveResult:
+    def test_from_factorization(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n)) + 4 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        fact = HybridLUQRSolver(8, MaxCriterion(10.0)).factor(a, b)
+        res = SolveResult.from_factorization(a, b, fact, x_true=x_true)
+        assert res.hpl3 < 50
+        assert res.stability.forward_error < 1e-8
+
+
+class TestTreeConfigurations:
+    @pytest.mark.parametrize("intra", [FlatTree(), GreedyTree(), BinaryTree(), FibonacciTree()])
+    def test_hybrid_solves_with_any_intra_tree(self, rng, intra):
+        n = 40
+        a = rng.standard_normal((n, n))
+        x_true = rng.standard_normal(n)
+        solver = HybridLUQRSolver(
+            8, MaxCriterion(0.0), grid=ProcessGrid(2, 2), intra_tree=intra,
+        )
+        res = solver.solve(a, a @ x_true)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+    @pytest.mark.parametrize("inter", [FlatTree(), BinaryTree(), FibonacciTree()])
+    def test_hybrid_solves_with_any_inter_tree(self, rng, inter):
+        n = 40
+        a = rng.standard_normal((n, n))
+        x_true = rng.standard_normal(n)
+        solver = HybridLUQRSolver(
+            8, MaxCriterion(0.0), grid=ProcessGrid(4, 1), inter_tree=inter,
+        )
+        res = solver.solve(a, a @ x_true)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)

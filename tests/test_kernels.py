@@ -1,0 +1,233 @@
+"""Tests for the LU and QR tile kernels and the Table I flop model."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KernelFlops,
+    LUPanelFactor,
+    apply_swptrsm,
+    eliminate_trsm,
+    factor_panel_lu,
+    factor_tile_lu,
+    factorization_flops_lu,
+    factorization_flops_qr,
+    fake_flops,
+    geqrt_tile,
+    kernel_flops,
+    lu_step_flops,
+    qr_step_flops,
+    step_flops_table,
+    true_flops,
+    tsmqr,
+    tsqrt,
+    ttmqr,
+    ttqrt,
+    unmqr,
+    update_gemm,
+)
+from repro.linalg import build_q
+
+
+# --------------------------------------------------------------------------- #
+# LU kernels
+# --------------------------------------------------------------------------- #
+class TestLUKernels:
+    def test_factor_tile_properties(self, rng):
+        a = rng.standard_normal((8, 8))
+        f = factor_tile_lu(a)
+        assert isinstance(f, LUPanelFactor)
+        assert f.nb == 8
+        assert f.u.shape == (8, 8)
+        np.testing.assert_allclose(np.tril(f.u, -1), 0.0)
+        np.testing.assert_allclose(np.diag(f.l_top), 1.0)
+        assert f.smallest_pivot > 0.0
+
+    def test_factor_panel_stacks(self, rng):
+        stacked = rng.standard_normal((24, 8))
+        f = factor_panel_lu(stacked, 8)
+        # The factored panel reproduces the permuted input: P W = L U.
+        lfull = np.tril(f.lu, -1)
+        lfull[np.arange(8), np.arange(8)] = 1.0
+        from repro.linalg import apply_row_pivots
+
+        pw = apply_row_pivots(stacked.copy(), f.piv)
+        np.testing.assert_allclose(lfull @ f.u, pw, atol=1e-11)
+
+    def test_factor_panel_recursive_equals_plain(self, rng):
+        stacked = rng.standard_normal((32, 8))
+        f1 = factor_panel_lu(stacked, 8, recursive=True)
+        f2 = factor_panel_lu(stacked, 8, recursive=False)
+        np.testing.assert_allclose(f1.lu, f2.lu, atol=1e-10)
+        np.testing.assert_array_equal(f1.piv, f2.piv)
+
+    def test_factor_panel_wrong_width(self, rng):
+        with pytest.raises(ValueError):
+            factor_panel_lu(rng.standard_normal((16, 4)), 8)
+
+    def test_eliminate_trsm(self, rng):
+        a_kk = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        f = factor_tile_lu(a_kk)
+        a_ik = rng.standard_normal((6, 6))
+        out = eliminate_trsm(f, a_ik)
+        np.testing.assert_allclose(out @ f.u, a_ik, atol=1e-10)
+
+    def test_apply_swptrsm_single_tile(self, rng):
+        a_kk = rng.standard_normal((6, 6))
+        f = factor_tile_lu(a_kk)
+        c = rng.standard_normal((6, 4))
+        out = apply_swptrsm(f, c)
+        # out = L^{-1} P c  =>  L out = P c
+        from repro.linalg import apply_row_pivots
+
+        pc = apply_row_pivots(c.copy(), f.piv)
+        np.testing.assert_allclose(f.l_top @ out[:6], pc[:6], atol=1e-10)
+
+    def test_apply_swptrsm_row_count_check(self, rng):
+        f = factor_tile_lu(rng.standard_normal((6, 6)))
+        with pytest.raises(ValueError):
+            apply_swptrsm(f, rng.standard_normal((8, 3)))
+
+    def test_update_gemm(self, rng):
+        a = rng.standard_normal((5, 5))
+        b = rng.standard_normal((5, 5))
+        c = rng.standard_normal((5, 5))
+        np.testing.assert_allclose(update_gemm(c, a, b), c - a @ b)
+
+    def test_lu_step_schur_complement(self, rng):
+        """Factor + eliminate + apply + update reproduces the Schur complement."""
+        nb = 6
+        a_kk = rng.standard_normal((nb, nb)) + 5 * np.eye(nb)
+        a_ik = rng.standard_normal((nb, nb))
+        a_kj = rng.standard_normal((nb, nb))
+        a_ij = rng.standard_normal((nb, nb))
+
+        f = factor_tile_lu(a_kk)
+        elim = eliminate_trsm(f, a_ik)
+        applied = apply_swptrsm(f, a_kj)
+        updated = update_gemm(a_ij, elim, applied[:nb])
+
+        expected = a_ij - a_ik @ np.linalg.inv(a_kk) @ a_kj
+        np.testing.assert_allclose(updated, expected, atol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# QR kernels
+# --------------------------------------------------------------------------- #
+class TestQRKernels:
+    def test_geqrt_tile(self, rng):
+        a = rng.standard_normal((8, 8))
+        f = geqrt_tile(a)
+        q = build_q(f.v, f.t)
+        np.testing.assert_allclose(q @ f.r, a, atol=1e-10)
+
+    def test_unmqr_applies_qt(self, rng):
+        a = rng.standard_normal((6, 6))
+        c = rng.standard_normal((6, 4))
+        f = geqrt_tile(a)
+        q = build_q(f.v, f.t)
+        np.testing.assert_allclose(unmqr(f, c), q.T @ c, atol=1e-10)
+
+    def test_tsqrt_kills_bottom_tile(self, rng):
+        nb = 6
+        r_top = np.triu(rng.standard_normal((nb, nb)))
+        a_bot = rng.standard_normal((nb, nb))
+        f = tsqrt(r_top, a_bot)
+        # R is upper triangular and the transformation reconstructs the stack.
+        np.testing.assert_allclose(np.tril(f.r, -1), 0.0, atol=1e-12)
+        q = build_q(f.v, f.t)
+        stacked = np.vstack([r_top, a_bot])
+        np.testing.assert_allclose(q @ np.vstack([f.r, np.zeros((nb, nb))]), stacked, atol=1e-10)
+
+    def test_tsmqr_consistent_with_q(self, rng):
+        nb = 5
+        r_top = np.triu(rng.standard_normal((nb, nb)))
+        a_bot = rng.standard_normal((nb, nb))
+        f = tsqrt(r_top, a_bot)
+        c_top = rng.standard_normal((nb, 3))
+        c_bot = rng.standard_normal((nb, 3))
+        top, bot = tsmqr(f, c_top, c_bot)
+        q = build_q(f.v, f.t)
+        expected = q.T @ np.vstack([c_top, c_bot])
+        np.testing.assert_allclose(np.vstack([top, bot]), expected, atol=1e-10)
+
+    def test_ttqrt_and_ttmqr(self, rng):
+        nb = 4
+        r1 = np.triu(rng.standard_normal((nb, nb)))
+        r2 = np.triu(rng.standard_normal((nb, nb)))
+        f = ttqrt(r1, r2)
+        q = build_q(f.v, f.t)
+        stacked = np.vstack([r1, r2])
+        np.testing.assert_allclose(q @ np.vstack([f.r, np.zeros((nb, nb))]), stacked, atol=1e-10)
+        c1, c2 = rng.standard_normal((nb, 2)), rng.standard_normal((nb, 2))
+        top, bot = ttmqr(f, c1, c2)
+        np.testing.assert_allclose(np.vstack([top, bot]), q.T @ np.vstack([c1, c2]), atol=1e-10)
+
+    def test_norm_preservation(self, rng):
+        """QR kernels never grow the Frobenius norm of the coupled tiles."""
+        nb = 6
+        r_top = np.triu(rng.standard_normal((nb, nb)))
+        a_bot = rng.standard_normal((nb, nb))
+        f = tsqrt(r_top, a_bot)
+        before = np.linalg.norm(np.vstack([r_top, a_bot]))
+        after = np.linalg.norm(f.r)
+        assert after == pytest.approx(before, rel=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# Flop model (Table I)
+# --------------------------------------------------------------------------- #
+class TestFlops:
+    def test_kernel_values_in_nb3_units(self):
+        kf = KernelFlops(10)
+        assert kf.getrf == pytest.approx((2 / 3) * 1000)
+        assert kf.trsm == pytest.approx(1000)
+        assert kf.gemm == pytest.approx(2000)
+        assert kf.geqrt == pytest.approx((4 / 3) * 1000)
+        assert kf.tsqrt == pytest.approx(2000)
+        assert kf.tsmqr == pytest.approx(4000)
+
+    def test_kernel_flops_by_name(self):
+        assert kernel_flops("GEMM", 4) == pytest.approx(2 * 64)
+        with pytest.raises(KeyError):
+            kernel_flops("nope", 4)
+
+    def test_table1_first_step_units(self):
+        # For the first step of an n-tile matrix, Table I gives (n-1) factors.
+        table = step_flops_table(nb=240, remaining=5)
+        assert table["lu"]["factor"] == pytest.approx(2 / 3)
+        assert table["lu"]["eliminate"] == pytest.approx(4.0)
+        assert table["lu"]["apply"] == pytest.approx(4.0)
+        assert table["lu"]["update"] == pytest.approx(2 * 16.0)
+        assert table["qr"]["factor"] == pytest.approx(4 / 3)
+        assert table["qr"]["eliminate"] == pytest.approx(8.0)
+        assert table["qr"]["update"] == pytest.approx(4 * 16.0)
+
+    def test_qr_step_roughly_twice_lu(self):
+        for remaining in (2, 8, 40):
+            lu = lu_step_flops(16, remaining)["total"]
+            qr = qr_step_flops(16, remaining)["total"]
+            assert 1.8 <= qr / lu <= 2.1
+
+    def test_factorization_totals(self):
+        n = 960
+        assert factorization_flops_lu(n) == pytest.approx(2 / 3 * n**3)
+        assert factorization_flops_qr(n) == pytest.approx(4 / 3 * n**3)
+        assert fake_flops(n) == factorization_flops_lu(n)
+
+    def test_sum_of_lu_steps_approaches_total(self):
+        nb, n_tiles = 32, 24
+        total = sum(lu_step_flops(nb, n_tiles - k)["total"] for k in range(n_tiles))
+        expected = factorization_flops_lu(nb * n_tiles)
+        assert total == pytest.approx(expected, rel=0.15)
+
+    def test_true_flops_interpolates(self):
+        n = 1000
+        assert true_flops(n, 1.0) == pytest.approx(factorization_flops_lu(n))
+        assert true_flops(n, 0.0) == pytest.approx(factorization_flops_qr(n))
+        mid = true_flops(n, 0.5)
+        assert factorization_flops_lu(n) < mid < factorization_flops_qr(n)
+
+    def test_true_flops_validates_fraction(self):
+        with pytest.raises(ValueError):
+            true_flops(100, 1.5)

@@ -1,0 +1,80 @@
+"""Tests for the 1-norm condition estimator."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    getrf,
+    hager_norm1_estimate,
+    inverse_norm1_estimate,
+    inverse_norm1_exact,
+    smallest_inverse_norm_from_lu,
+)
+
+
+class TestExact:
+    def test_identity(self):
+        assert inverse_norm1_exact(np.eye(5)) == pytest.approx(1.0)
+
+    def test_diagonal(self):
+        a = np.diag([2.0, 4.0, 0.5])
+        assert inverse_norm1_exact(a) == pytest.approx(2.0)
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            inverse_norm1_exact(np.zeros((3, 3)))
+
+
+class TestHager:
+    def test_estimates_explicit_matrix_norm(self, rng):
+        # Estimate ||B||_1 for an explicit B through matvec callbacks.
+        b = rng.standard_normal((12, 12))
+        est = hager_norm1_estimate(lambda x: b @ x, lambda x: b.T @ x, 12)
+        exact = np.linalg.norm(b, 1)
+        assert est <= exact * (1.0 + 1e-10)
+        assert est >= 0.3 * exact
+
+    def test_exact_for_diagonal(self):
+        d = np.diag([1.0, 10.0, 3.0])
+        est = hager_norm1_estimate(lambda x: d @ x, lambda x: d @ x, 3)
+        assert est == pytest.approx(10.0, rel=1e-10)
+
+
+class TestInverseNormFromLU:
+    def test_close_to_exact_on_random(self, rng):
+        for _ in range(10):
+            a = rng.standard_normal((10, 10)) + 2.0 * np.eye(10)
+            lu, piv = getrf(a)
+            est = inverse_norm1_estimate(lu, piv)
+            exact = inverse_norm1_exact(a)
+            assert est <= exact * (1.0 + 1e-8)
+            assert est >= exact / 5.0
+
+    def test_well_conditioned_reciprocal(self, rng):
+        a = 3.0 * np.eye(6)
+        lu, piv = getrf(a)
+        assert smallest_inverse_norm_from_lu(lu, piv) == pytest.approx(3.0, rel=1e-8)
+
+    def test_nearly_singular_gives_small_value(self, rng):
+        a = rng.standard_normal((8, 8))
+        a[:, 0] = a[:, 1] + 1e-12 * rng.standard_normal(8)  # nearly dependent columns
+        lu, piv = getrf(a)
+        value = smallest_inverse_norm_from_lu(lu, piv)
+        assert value < 1e-8
+
+    def test_ill_conditioned_smaller_than_well_conditioned(self, rng):
+        well = rng.standard_normal((8, 8)) + 8.0 * np.eye(8)
+        ill = well.copy()
+        ill[:, -1] = ill[:, 0] + 1e-10 * rng.standard_normal(8)
+        lu_w, piv_w = getrf(well)
+        lu_i, piv_i = getrf(ill)
+        assert smallest_inverse_norm_from_lu(lu_i, piv_i) < smallest_inverse_norm_from_lu(
+            lu_w, piv_w
+        )
+
+    def test_exactly_singular_returns_zero(self):
+        # A singular U factor (zero diagonal entry) must yield 0, not raise.
+        lu = np.triu(np.ones((4, 4)))
+        lu[2, 2] = 0.0
+        piv = np.arange(4)
+        assert smallest_inverse_norm_from_lu(lu, piv) == 0.0

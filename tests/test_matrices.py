@@ -1,0 +1,202 @@
+"""Tests for the Table III special matrices and the random generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    block_diagonally_dominant,
+    diagonally_dominant,
+    matrix_with_condition,
+    near_singular_leading_tile,
+    random_matrix,
+    random_rhs,
+    registry,
+    special,
+)
+
+
+class TestRegistry:
+    def test_table_has_21_entries(self):
+        assert len(registry.TABLE_III) == 21
+        assert [e.number for e in registry.TABLE_III] == list(range(1, 22))
+
+    def test_names_and_lookup(self):
+        names = registry.names()
+        assert len(names) == 21
+        assert "wilkinson" in names
+        entry = registry.by_name("HILB")
+        assert entry.number == 15
+
+    def test_names_with_extra(self):
+        assert "fiedler" in registry.names(include_extra=True)
+        assert "fiedler" not in registry.names()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            registry.by_name("does-not-exist")
+
+    def test_build_all_shapes_and_dtype(self):
+        n = 24
+        for entry in registry.TABLE_III + registry.EXTRA:
+            a = entry.build(n)
+            assert a.shape == (n, n), entry.name
+            assert a.dtype == np.float64, entry.name
+            assert np.all(np.isfinite(a)), entry.name
+
+    def test_build_by_name(self):
+        a = registry.build("cauchy", 10)
+        assert a.shape == (10, 10)
+
+
+class TestSpecialMatrixProperties:
+    def test_house_is_orthogonal_and_symmetric(self):
+        a = special.house(20, seed=3)
+        np.testing.assert_allclose(a @ a.T, np.eye(20), atol=1e-12)
+        np.testing.assert_allclose(a, a.T, atol=1e-12)
+
+    def test_parter_formula(self):
+        a = special.parter(5)
+        assert a[0, 0] == pytest.approx(1 / 0.5)
+        assert a[2, 4] == pytest.approx(1 / (3 - 5 + 0.5))
+
+    def test_ris_is_symmetric_hankel(self):
+        a = special.ris(8)
+        np.testing.assert_allclose(a, a.T, atol=1e-15)
+
+    def test_circul_is_circulant(self):
+        a = special.circul(6, seed=0)
+        np.testing.assert_allclose(a[1], np.roll(a[0], 1))
+
+    def test_hankel_constant_antidiagonals(self):
+        a = special.hankel(7, seed=1)
+        assert a[0, 3] == pytest.approx(a[1, 2])
+        assert a[2, 5] == pytest.approx(a[4, 3])
+
+    def test_compan_structure(self):
+        a = special.compan(6, seed=0)
+        np.testing.assert_allclose(a[1:, :-1], np.eye(5), atol=1e-15)
+
+    def test_lehmer_spd_and_formula(self):
+        a = special.lehmer(10)
+        assert a[2, 5] == pytest.approx(3 / 6)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_dorr_is_tridiagonal_and_diag_dominant(self):
+        a = special.dorr(12)
+        mask = np.abs(np.arange(12)[:, None] - np.arange(12)[None, :]) > 1
+        np.testing.assert_allclose(a[mask], 0.0)
+        offdiag_sum = np.sum(np.abs(a), axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) >= offdiag_sum - 1e-9)
+
+    def test_demmel_scaling(self):
+        a = special.demmel(8, seed=0)
+        assert abs(a[7, 7]) > 1e10 * abs(a[0, 0])
+
+    def test_chebvand_first_rows(self):
+        a = special.chebvand(6)
+        np.testing.assert_allclose(a[0], 1.0)
+        np.testing.assert_allclose(a[1], np.linspace(0, 1, 6))
+
+    def test_invhess_inverse_is_hessenberg(self):
+        a = special.invhess(8)
+        inv = np.linalg.inv(a)
+        lower = np.tril(inv, -2)
+        np.testing.assert_allclose(lower, 0.0, atol=1e-8)
+
+    def test_prolate_toeplitz_symmetric(self):
+        a = special.prolate(9)
+        np.testing.assert_allclose(a, a.T, atol=1e-15)
+        assert a[0, 0] == pytest.approx(0.5)
+
+    def test_cauchy_and_hilb_formulas(self):
+        c = special.cauchy(5)
+        h = special.hilb(5)
+        assert c[1, 2] == pytest.approx(1 / 5)
+        assert h[1, 2] == pytest.approx(1 / 4)
+
+    def test_lotkin_is_hilb_with_ones_row(self):
+        a = special.lotkin(6)
+        np.testing.assert_allclose(a[0], 1.0)
+        np.testing.assert_allclose(a[1:], special.hilb(6)[1:])
+
+    def test_kahan_upper_triangular(self):
+        a = special.kahan(10)
+        np.testing.assert_allclose(np.tril(a, -1), 0.0)
+        assert a[0, 0] == pytest.approx(1.0)
+
+    def test_orthog_is_orthogonal(self):
+        a = special.orthog(16)
+        np.testing.assert_allclose(a @ a.T, np.eye(16), atol=1e-12)
+
+    def test_wilkinson_gepp_growth(self):
+        """GEPP on the Wilkinson matrix grows the last column by 2^(n-1)."""
+        n = 30
+        a = special.wilkinson(n)
+        import scipy.linalg as sla
+
+        _, _, u = sla.lu(a)
+        growth = np.max(np.abs(u)) / np.max(np.abs(a))
+        assert growth == pytest.approx(2.0 ** (n - 1), rel=1e-10)
+
+    def test_foster_and_wright_are_nonsingular(self):
+        for gen in (special.foster, special.wright):
+            a = gen(20)
+            assert np.linalg.matrix_rank(a) == 20
+
+    def test_wright_requires_even_order(self):
+        with pytest.raises(ValueError):
+            special.wright(7)
+
+    def test_fiedler_zero_diagonal_symmetric(self):
+        a = special.fiedler(12)
+        np.testing.assert_allclose(np.diag(a), 0.0)
+        np.testing.assert_allclose(a, a.T)
+
+    def test_condex_requires_n_ge_4(self):
+        with pytest.raises(ValueError):
+            special.condex(3)
+
+    def test_seeded_generators_are_reproducible(self):
+        for gen in (special.house, special.circul, special.hankel, special.compan, special.demmel):
+            np.testing.assert_array_equal(gen(12, seed=5), gen(12, seed=5))
+
+
+class TestRandomGenerators:
+    def test_random_matrix_reproducible(self):
+        np.testing.assert_array_equal(random_matrix(10, seed=1), random_matrix(10, seed=1))
+
+    def test_random_rhs_shapes(self):
+        assert random_rhs(8, seed=0).shape == (8,)
+        assert random_rhs(8, seed=0, nrhs=3).shape == (8, 3)
+
+    def test_diagonally_dominant(self):
+        a = diagonally_dominant(20, seed=2)
+        offdiag = np.sum(np.abs(a), axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) >= offdiag)
+
+    def test_block_diagonally_dominant_condition(self):
+        nb = 4
+        a = block_diagonally_dominant(16, nb, seed=0)
+        for j in range(4):
+            cols = slice(j * nb, (j + 1) * nb)
+            diag_block = a[j * nb : (j + 1) * nb, cols]
+            inv_norm = 1.0 / np.linalg.norm(np.linalg.inv(diag_block), 1)
+            off = sum(
+                np.linalg.norm(a[i * nb : (i + 1) * nb, cols], 1) for i in range(4) if i != j
+            )
+            assert inv_norm >= off
+
+    def test_block_diagonally_dominant_requires_divisible(self):
+        with pytest.raises(ValueError):
+            block_diagonally_dominant(10, 4)
+
+    def test_matrix_with_condition(self):
+        a = matrix_with_condition(16, 1e6, seed=0)
+        assert np.linalg.cond(a) == pytest.approx(1e6, rel=1e-6)
+        with pytest.raises(ValueError):
+            matrix_with_condition(8, 0.5)
+
+    def test_near_singular_leading_tile(self):
+        a = near_singular_leading_tile(16, 4, epsilon=1e-10, seed=0)
+        s = np.linalg.svd(a[:4, :4], compute_uv=False)
+        assert s[-1] < 1e-8

@@ -1,0 +1,109 @@
+"""Tests for the stability metrics (HPL3 & co.) and growth tracking."""
+
+import numpy as np
+import pytest
+
+from repro.stability import (
+    GrowthTracker,
+    forward_error,
+    hpl1,
+    hpl2,
+    hpl3,
+    max_criterion_growth_bound,
+    normwise_backward_error,
+    partial_pivoting_growth_bound,
+    scalar_growth_factor,
+    stability_report,
+    sum_criterion_growth_bound,
+)
+
+
+class TestHPLMetrics:
+    def test_exact_solution_gives_tiny_values(self, rng):
+        a = rng.standard_normal((32, 32)) + 5 * np.eye(32)
+        x = rng.standard_normal(32)
+        b = a @ x
+        x_solved = np.linalg.solve(a, b)
+        assert hpl3(a, x_solved, b) < 10.0
+        assert hpl1(a, x_solved, b) < 100.0
+        assert hpl2(a, x_solved, b) < 100.0
+        assert normwise_backward_error(a, x_solved, b) < 1e-12
+
+    def test_wrong_solution_gives_large_values(self, rng):
+        a = rng.standard_normal((16, 16)) + 4 * np.eye(16)
+        x = rng.standard_normal(16)
+        b = a @ x
+        assert hpl3(a, x + 1.0, b) > 1e6
+
+    def test_hpl3_matches_formula(self, rng):
+        a = rng.standard_normal((8, 8))
+        x = rng.standard_normal(8)
+        b = rng.standard_normal(8)
+        eps = np.finfo(np.float64).eps
+        expected = np.linalg.norm(a @ x - b, np.inf) / (
+            np.linalg.norm(a, np.inf) * np.linalg.norm(x, np.inf) * eps * 8
+        )
+        assert hpl3(a, x, b) == pytest.approx(expected)
+
+    def test_hpl3_invariant_under_scaling(self, rng):
+        """HPL3 is invariant when A and b are scaled by the same factor."""
+        a = rng.standard_normal((12, 12)) + 4 * np.eye(12)
+        x = rng.standard_normal(12)
+        b = a @ x
+        x_pert = x * (1 + 1e-12)
+        assert hpl3(a, x_pert, b) == pytest.approx(hpl3(1e6 * a, x_pert, 1e6 * b), rel=1e-3)
+
+    def test_forward_error(self):
+        x_true = np.array([1.0, 2.0, -4.0])
+        x = np.array([1.0, 2.0, -4.4])
+        assert forward_error(x, x_true) == pytest.approx(0.1)
+        assert forward_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_stability_report_fields(self, rng):
+        a = rng.standard_normal((8, 8)) + 3 * np.eye(8)
+        x_true = rng.standard_normal(8)
+        b = a @ x_true
+        x = np.linalg.solve(a, b)
+        rep = stability_report(a, x, b, x_true=x_true)
+        assert rep.hpl3 < 10
+        assert rep.forward_error < 1e-10
+        assert rep.backward_error < 1e-13
+
+    def test_relative_to(self, rng):
+        a = rng.standard_normal((8, 8)) + 3 * np.eye(8)
+        x = np.linalg.solve(a, np.ones(8))
+        rep = stability_report(a, x, np.ones(8))
+        assert rep.relative_to(rep) == pytest.approx(1.0)
+
+
+class TestGrowth:
+    def test_tracker_records_peak(self):
+        t = GrowthTracker(initial_max_norm=2.0)
+        t.record(3.0)
+        t.record(8.0)
+        t.record(1.0)
+        assert t.growth_factor == pytest.approx(4.0)
+
+    def test_tracker_never_below_one(self):
+        t = GrowthTracker(initial_max_norm=5.0)
+        t.record(1.0)
+        assert t.growth_factor == pytest.approx(1.0)
+
+    def test_tracker_zero_initial(self):
+        t = GrowthTracker(initial_max_norm=0.0)
+        t.record(1.0)
+        assert np.isinf(t.growth_factor)
+
+    def test_bounds(self):
+        assert max_criterion_growth_bound(1.0, 11) == pytest.approx(2.0**10)
+        assert sum_criterion_growth_bound(17) == 17.0
+        assert sum_criterion_growth_bound(17, diagonally_dominant=True) == 2.0
+        assert partial_pivoting_growth_bound(5) == 16.0
+        with pytest.raises(ValueError):
+            max_criterion_growth_bound(-1.0, 4)
+
+    def test_scalar_growth_factor(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        u = np.array([[8.0, 2.0], [0.0, 1.0]])
+        assert scalar_growth_factor(a, u) == pytest.approx(2.0)
+        assert np.isinf(scalar_growth_factor(np.zeros((2, 2)), u))

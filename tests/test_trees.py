@@ -1,0 +1,189 @@
+"""Tests for the reduction trees of the HQR elimination step."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles import BlockCyclicDistribution, ProcessGrid
+from repro.trees import (
+    BinaryTree,
+    Elimination,
+    FibonacciTree,
+    FlatTree,
+    GreedyTree,
+    HierarchicalTree,
+    elimination_depth,
+    fibonacci_batches,
+    validate_eliminations,
+)
+
+ALL_TREES = [FlatTree(), BinaryTree(), GreedyTree(), FibonacciTree()]
+
+
+class TestElimination:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Elimination(killed=1, eliminator=0, kind="XX")
+
+    def test_self_elimination_rejected(self):
+        with pytest.raises(ValueError):
+            Elimination(killed=2, eliminator=2, kind="TS")
+
+
+class TestValidation:
+    def test_valid_flat_list(self):
+        rows = [3, 4, 5, 6]
+        elims = FlatTree().eliminations(rows)
+        validate_eliminations(rows, elims)
+
+    def test_detects_double_kill(self):
+        rows = [0, 1, 2]
+        elims = [
+            Elimination(1, 0, "TS"),
+            Elimination(1, 0, "TS"),
+            Elimination(2, 0, "TS"),
+        ]
+        with pytest.raises(ValueError):
+            validate_eliminations(rows, elims)
+
+    def test_detects_missing_kill(self):
+        rows = [0, 1, 2]
+        with pytest.raises(ValueError):
+            validate_eliminations(rows, [Elimination(1, 0, "TS")])
+
+    def test_detects_dead_eliminator(self):
+        rows = [0, 1, 2]
+        elims = [Elimination(1, 0, "TS"), Elimination(2, 1, "TS")]
+        with pytest.raises(ValueError):
+            validate_eliminations(rows, elims)
+
+    def test_detects_killed_root(self):
+        rows = [0, 1]
+        with pytest.raises(ValueError):
+            validate_eliminations(rows, [Elimination(0, 1, "TT")])
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError):
+            validate_eliminations([], [])
+
+
+class TestTreeShapes:
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 17])
+    def test_all_trees_valid(self, tree, size):
+        rows = list(range(10, 10 + size))
+        elims = tree.eliminations(rows)
+        validate_eliminations(rows, elims)
+        assert len(elims) == size - 1
+
+    def test_flat_depth_is_linear(self):
+        rows = list(range(9))
+        assert FlatTree().depth(rows) == 8
+
+    def test_binary_depth_is_logarithmic(self):
+        rows = list(range(16))
+        assert BinaryTree().depth(rows) == 4
+        assert BinaryTree().depth(list(range(17))) == 5
+
+    def test_greedy_depth_is_logarithmic(self):
+        for size in (2, 4, 8, 16, 31):
+            depth = GreedyTree().depth(list(range(size)))
+            assert depth <= math.ceil(math.log2(size)) + 1
+
+    def test_greedy_beats_flat(self):
+        rows = list(range(20))
+        assert GreedyTree().depth(rows) < FlatTree().depth(rows)
+
+    def test_fibonacci_depth_between_flat_and_binary(self):
+        rows = list(range(21))
+        fib = FibonacciTree().depth(rows)
+        assert fib < FlatTree().depth(rows)
+
+    def test_flat_uses_ts_only(self):
+        elims = FlatTree().eliminations([0, 1, 2, 3])
+        assert all(e.kind == "TS" for e in elims)
+        assert all(e.eliminator == 0 for e in elims)
+
+    def test_binary_uses_tt_only(self):
+        elims = BinaryTree().eliminations([0, 1, 2, 3, 4])
+        assert all(e.kind == "TT" for e in elims)
+
+    def test_single_row_no_eliminations(self):
+        for tree in ALL_TREES:
+            assert tree.eliminations([7]) == []
+
+    def test_fibonacci_batches(self):
+        assert fibonacci_batches(0) == []
+        assert fibonacci_batches(1) == [1]
+        assert fibonacci_batches(7) == [1, 1, 2, 3]
+        assert sum(fibonacci_batches(23)) == 23
+
+    @given(size=st.integers(1, 40), start=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_trees_reduce_to_root(self, size, start):
+        rows = list(range(start, start + size))
+        for tree in ALL_TREES:
+            elims = tree.eliminations(rows)
+            validate_eliminations(rows, elims)
+            killed = {e.killed for e in elims}
+            assert rows[0] not in killed
+            assert killed == set(rows[1:])
+
+
+class TestEliminationDepth:
+    def test_empty(self):
+        assert elimination_depth([]) == 0
+
+    def test_chain(self):
+        elims = [Elimination(i, 0, "TS") for i in range(1, 6)]
+        assert elimination_depth(elims) == 5
+
+    def test_independent_pairs(self):
+        elims = [Elimination(1, 0, "TT"), Elimination(3, 2, "TT")]
+        assert elimination_depth(elims) == 1
+
+
+class TestHierarchicalTree:
+    def test_without_distribution_uses_intra_tree(self):
+        tree = HierarchicalTree(intra_tree=FlatTree())
+        rows = [2, 3, 4, 5]
+        assert tree.eliminations(rows) == FlatTree().eliminations(rows)
+
+    def test_valid_with_distribution(self):
+        dist = BlockCyclicDistribution(ProcessGrid(4, 1), 13)
+        for k in (0, 2, 5, 11):
+            rows = list(range(k, 13))
+            tree = HierarchicalTree(distribution=dist, step=k)
+            elims = tree.eliminations_for_step(k, rows)
+            validate_eliminations(rows, elims)
+
+    def test_inter_domain_merges_are_tt(self):
+        dist = BlockCyclicDistribution(ProcessGrid(4, 1), 12)
+        tree = HierarchicalTree(distribution=dist, intra_tree=FlatTree(), step=0)
+        elims = tree.eliminations_for_step(0, list(range(12)))
+        # The per-domain survivors are rows 0..3 (one per process row); the
+        # merges between them must be TT kernels.
+        inter = [e for e in elims if e.killed in (1, 2, 3)]
+        assert inter and all(e.kind == "TT" for e in inter)
+
+    def test_domain_eliminations_stay_local(self):
+        dist = BlockCyclicDistribution(ProcessGrid(4, 1), 16)
+        tree = HierarchicalTree(distribution=dist, step=0)
+        elims = tree.eliminations_for_step(0, list(range(16)))
+        inter_count = 0
+        for e in elims:
+            if dist.owner(e.killed, 0) != dist.owner(e.eliminator, 0):
+                inter_count += 1
+        # Only the (p - 1) = 3 inter-domain merges cross node boundaries.
+        assert inter_count == 3
+
+    def test_empty_rows(self):
+        tree = HierarchicalTree()
+        assert tree.eliminations([]) == []
+
+    def test_default_trees(self):
+        tree = HierarchicalTree()
+        assert isinstance(tree.intra_tree, GreedyTree)
+        assert isinstance(tree.inter_tree, FibonacciTree)
