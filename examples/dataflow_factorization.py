@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Run the *real* factorization through the dataflow runtime.
+
+The hybrid LU-QR algorithm is a dynamic task graph: the per-step decision
+(LU or QR) is taken at run time by the robustness criterion, but once the
+branch is selected, all of its panel eliminations and trailing-matrix
+updates are independent tile kernels.  This example factors the same
+matrix twice —
+
+1. with the sequential reference driver (kernels inline, program order);
+2. with the kernels of every step materialised as a ``TaskGraph`` and
+   dispatched on a ``ThreadedExecutor`` (numpy releases the GIL inside
+   BLAS, so the updates genuinely overlap)
+
+— verifies the two factorizations are numerically identical, and reports
+the achieved task concurrency.  It finishes with the batched multi-RHS
+entry point ``solve_many`` (one factorization, many solves).
+
+Run with ``python examples/dataflow_factorization.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    HybridLUQRSolver,
+    LUPPSolver,
+    MaxCriterion,
+    ProcessGrid,
+    ThreadedExecutor,
+)
+from repro.matrices.random_gen import random_matrix, random_rhs
+from repro.runtime import merge_traces
+
+
+def compare_paths(n: int = 256, nb: int = 32, workers: int = 4) -> None:
+    print(f"1. Sequential vs dataflow execution (N={n}, nb={nb}, {workers} workers)")
+    a = random_matrix(n, seed=1)
+    b = random_rhs(n, seed=2)
+
+    def build(executor):
+        return HybridLUQRSolver(
+            nb,
+            MaxCriterion(alpha=4.0),
+            grid=ProcessGrid(2, 2),
+            track_growth=False,
+            executor=executor,
+        )
+
+    seq = build(None)
+    t0 = time.perf_counter()
+    fact_seq = seq.factor(a, b)
+    t_seq = time.perf_counter() - t0
+
+    par = build(ThreadedExecutor(workers=workers))
+    t0 = time.perf_counter()
+    fact_par = par.factor(a, b)
+    t_par = time.perf_counter() - t0
+
+    identical = np.array_equal(fact_seq.tiles.array, fact_par.tiles.array) and np.array_equal(
+        fact_seq.tiles.rhs, fact_par.tiles.rhs
+    )
+    merged = merge_traces(par.step_traces)
+    print(f"   step kinds           : {''.join(k[0] for k in fact_par.step_kinds)}")
+    print(f"   sequential wall time : {t_seq * 1e3:8.1f} ms")
+    print(f"   threaded wall time   : {t_par * 1e3:8.1f} ms")
+    print(f"   numerically identical: {identical}")
+    print(f"   tasks executed       : {merged.n_tasks}")
+    print(f"   max task concurrency : {merged.max_concurrency}")
+    print()
+
+
+def batched_solves(n: int = 160, nb: int = 32, nrhs: int = 8) -> None:
+    print(f"2. Batched multi-RHS solve_many (N={n}, {nrhs} right-hand sides)")
+    a = random_matrix(n, seed=3)
+    bs = np.column_stack([random_rhs(n, seed=10 + j) for j in range(nrhs)])
+
+    solver = LUPPSolver(nb, track_growth=False, executor=ThreadedExecutor(workers=4))
+    t0 = time.perf_counter()
+    results = solver.solve_many(a, bs)
+    t_batch = time.perf_counter() - t0
+
+    worst = max(r.hpl3 for r in results)
+    print(f"   one factorization, {nrhs} solves in {t_batch * 1e3:.1f} ms")
+    print(f"   worst HPL3 over the batch: {worst:.3g}")
+    print()
+
+
+if __name__ == "__main__":
+    compare_paths()
+    batched_solves()

@@ -23,6 +23,7 @@ Quick start
 
 from .baselines import HQRSolver, LUIncPivSolver, LUNoPivSolver, LUPPSolver
 from .core import Factorization, HybridLUQRSolver, SolveResult, StepRecord
+from .runtime import SequentialExecutor, ThreadedExecutor
 from .criteria import (
     AlwaysLU,
     AlwaysQR,
@@ -57,4 +58,6 @@ __all__ = [
     "BlockCyclicDistribution",
     "hpl3",
     "stability_report",
+    "SequentialExecutor",
+    "ThreadedExecutor",
 ]

@@ -10,11 +10,12 @@ norm of the trailing matrix.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.factorization import StepRecord
-from ..core.qr_step import perform_qr_step
-from ..core.solver_base import TiledSolverBase
+from ..core.qr_step import qr_step_tasks
+from ..core.solver_base import Executor, TiledSolverBase
+from ..runtime.schedule import KernelTask
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 from ..trees.base import ReductionTree
@@ -45,14 +46,17 @@ class HQRSolver(TiledSolverBase):
         intra_tree: Optional[ReductionTree] = None,
         inter_tree: Optional[ReductionTree] = None,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+        super().__init__(
+            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+        )
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
         self.inter_tree = inter_tree if inter_tree is not None else FibonacciTree()
 
-    def _do_step(
+    def _plan_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
-    ) -> StepRecord:
+    ) -> Tuple[StepRecord, List[KernelTask]]:
         record = StepRecord(k=k, kind="QR", decision_overhead=False)
         tree = HierarchicalTree(
             distribution=dist,
@@ -61,5 +65,4 @@ class HQRSolver(TiledSolverBase):
             step=k,
         )
         elims = tree.eliminations_for_step(k, list(range(k, tiles.n)))
-        perform_qr_step(tiles, k, elims, record)
-        return record
+        return record, qr_step_tasks(tiles, k, elims, record)

@@ -15,13 +15,15 @@ eliminations compound growth — the behaviour Figure 2 shows for LU IncPiv.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.factorization import StepRecord
-from ..core.solver_base import TiledSolverBase
-from ..kernels.lu_kernels import apply_swptrsm, factor_panel_lu, factor_tile_lu
+from ..core.solver_base import Executor, TiledSolverBase
+from ..kernels.lu_kernels import LUPanelFactor, apply_swptrsm, factor_panel_lu, factor_tile_lu
+from ..runtime.schedule import KernelTask
+from ..runtime.task import RHS_COLUMN
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 
@@ -38,52 +40,128 @@ class LUIncPivSolver(TiledSolverBase):
         tile_size: int,
         grid: Optional[ProcessGrid] = None,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+        super().__init__(
+            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+        )
 
-    def _do_step(
+    def _plan_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
-    ) -> StepRecord:
+    ) -> Tuple[StepRecord, List[KernelTask]]:
         record = StepRecord(k=k, kind="LU", decision_overhead=False)
         nb = tiles.nb
         n = tiles.n
+        tasks: List[KernelTask] = []
+        # Pairwise factors are computed at execution time (they depend on the
+        # evolving diagonal tile) and flow to their SSSSM updates through
+        # this table; the tile access sets serialize the chain through
+        # (k, k) while the updates fan out across trailing columns.
+        factors: Dict[object, LUPanelFactor] = {}
 
         # ---- Factor the diagonal tile (pivoting inside the tile). -------- #
-        factor = factor_tile_lu(tiles.tile(k, k))
+        def do_getrf() -> None:
+            factor = factor_tile_lu(tiles.tile(k, k))
+            factors["diag"] = factor
+            tiles.set_tile(k, k, np.triu(factor.lu))
+
+        tasks.append(
+            KernelTask(
+                "getrf",
+                do_getrf,
+                reads=frozenset({(k, k)}),
+                writes=frozenset({(k, k)}),
+            )
+        )
         record.add_kernel("getrf")
-        # Apply its transformation to the trailing row k and the RHS, then
-        # keep only the triangular factor in the diagonal tile.
+
+        # Apply its transformation to the trailing row k and the RHS.
         for j in range(k + 1, n):
-            tiles.set_tile(k, j, apply_swptrsm(factor, tiles.tile(k, j)))
+            def do_swptrsm(j=j) -> None:
+                tiles.set_tile(k, j, apply_swptrsm(factors["diag"], tiles.tile(k, j)))
+
+            tasks.append(
+                KernelTask(
+                    "swptrsm",
+                    do_swptrsm,
+                    reads=frozenset({(k, k), (k, j)}),
+                    writes=frozenset({(k, j)}),
+                )
+            )
             record.add_kernel("swptrsm")
         if tiles.has_rhs:
-            tiles.rhs_tile(k)[...] = apply_swptrsm(factor, tiles.rhs_tile(k))
+            def do_swptrsm_rhs() -> None:
+                tiles.rhs_tile(k)[...] = apply_swptrsm(factors["diag"], tiles.rhs_tile(k))
+
+            tasks.append(
+                KernelTask(
+                    "swptrsm",
+                    do_swptrsm_rhs,
+                    reads=frozenset({(k, k), (k, RHS_COLUMN)}),
+                    writes=frozenset({(k, RHS_COLUMN)}),
+                )
+            )
             record.add_kernel("swptrsm")
-        tiles.set_tile(k, k, np.triu(factor.lu))
 
         # ---- Pairwise elimination of every sub-diagonal panel tile. ------ #
         for i in range(k + 1, n):
-            stacked = np.vstack([np.triu(tiles.tile(k, k)), tiles.tile(i, k)])
-            pair = factor_panel_lu(stacked, nb, recursive=False)
-            record.add_kernel("tstrf")  # PLASMA's pairwise panel kernel
-            tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
-            tiles.set_tile(i, k, pair.lu[nb:])
-            l2 = pair.lu[nb:]
+            key = ("pair", i)
+
+            def do_tstrf(i=i, key=key) -> None:
+                stacked = np.vstack([np.triu(tiles.tile(k, k)), tiles.tile(i, k)])
+                pair = factor_panel_lu(stacked, nb, recursive=False)
+                factors[key] = pair
+                tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
+                tiles.set_tile(i, k, pair.lu[nb:])
+
+            tasks.append(
+                KernelTask(
+                    "tstrf",  # PLASMA's pairwise panel kernel
+                    do_tstrf,
+                    reads=frozenset({(k, k), (i, k)}),
+                    writes=frozenset({(k, k), (i, k)}),
+                )
+            )
+            record.add_kernel("tstrf")
 
             for j in range(k + 1, n):
-                c = np.vstack([tiles.tile(k, j), tiles.tile(i, j)])
-                c = apply_swptrsm(pair, c)
-                top = c[:nb]
-                bottom = c[nb:] - l2 @ top
-                tiles.set_tile(k, j, top)
-                tiles.set_tile(i, j, bottom)
+                def do_ssssm(i=i, j=j, key=key) -> None:
+                    pair = factors[key]
+                    l2 = pair.lu[nb:]
+                    c = np.vstack([tiles.tile(k, j), tiles.tile(i, j)])
+                    c = apply_swptrsm(pair, c)
+                    top = c[:nb]
+                    bottom = c[nb:] - l2 @ top
+                    tiles.set_tile(k, j, top)
+                    tiles.set_tile(i, j, bottom)
+
+                tasks.append(
+                    KernelTask(
+                        "ssssm",
+                        do_ssssm,
+                        reads=frozenset({(i, k), (k, j), (i, j)}),
+                        writes=frozenset({(k, j), (i, j)}),
+                    )
+                )
                 record.add_kernel("ssssm")
             if tiles.has_rhs:
-                c = np.vstack([tiles.rhs_tile(k), tiles.rhs_tile(i)])
-                c = apply_swptrsm(pair, c)
-                top = c[:nb]
-                bottom = c[nb:] - l2 @ top
-                tiles.rhs_tile(k)[...] = top
-                tiles.rhs_tile(i)[...] = bottom
+                def do_ssssm_rhs(i=i, key=key) -> None:
+                    pair = factors[key]
+                    l2 = pair.lu[nb:]
+                    c = np.vstack([tiles.rhs_tile(k), tiles.rhs_tile(i)])
+                    c = apply_swptrsm(pair, c)
+                    top = c[:nb]
+                    bottom = c[nb:] - l2 @ top
+                    tiles.rhs_tile(k)[...] = top
+                    tiles.rhs_tile(i)[...] = bottom
+
+                tasks.append(
+                    KernelTask(
+                        "ssssm_rhs",
+                        do_ssssm_rhs,
+                        reads=frozenset({(i, k), (k, RHS_COLUMN), (i, RHS_COLUMN)}),
+                        writes=frozenset({(k, RHS_COLUMN), (i, RHS_COLUMN)}),
+                    )
+                )
                 record.add_kernel("ssssm_rhs")
-        return record
+        return record, tasks

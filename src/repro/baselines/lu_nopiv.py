@@ -11,12 +11,13 @@ exactly the failure the paper reports on the ``fiedler`` matrix.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.factorization import StepRecord
-from ..core.lu_step import perform_lu_step
+from ..core.lu_step import lu_step_tasks
 from ..core.panel_analysis import analyze_panel
-from ..core.solver_base import TiledSolverBase
+from ..core.solver_base import Executor, TiledSolverBase
+from ..runtime.schedule import KernelTask
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 
@@ -45,17 +46,19 @@ class LUNoPivSolver(TiledSolverBase):
         grid: Optional[ProcessGrid] = None,
         domain_pivoting: bool = False,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+        super().__init__(
+            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+        )
         self.domain_pivoting = bool(domain_pivoting)
 
-    def _do_step(
+    def _plan_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
-    ) -> StepRecord:
+    ) -> Tuple[StepRecord, List[KernelTask]]:
         record = StepRecord(k=k, kind="LU", decision_overhead=False)
         analysis = analyze_panel(
             tiles, dist, k, domain_pivoting=self.domain_pivoting, recursive_panel=False
         )
         record.domain_rows = analysis.domain_rows
-        perform_lu_step(tiles, k, analysis, record)
-        return record
+        return record, lu_step_tasks(tiles, k, analysis, record)

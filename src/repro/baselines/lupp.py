@@ -14,12 +14,13 @@ and the row exchanges that the real algorithm needs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.factorization import StepRecord
-from ..core.lu_step import perform_lu_step
+from ..core.lu_step import lu_step_tasks
 from ..core.panel_analysis import analyze_panel
-from ..core.solver_base import TiledSolverBase
+from ..core.solver_base import Executor, TiledSolverBase
+from ..runtime.schedule import KernelTask
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 
@@ -36,12 +37,15 @@ class LUPPSolver(TiledSolverBase):
         tile_size: int,
         grid: Optional[ProcessGrid] = None,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+        super().__init__(
+            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+        )
 
-    def _do_step(
+    def _plan_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
-    ) -> StepRecord:
+    ) -> Tuple[StepRecord, List[KernelTask]]:
         record = StepRecord(k=k, kind="LU", decision_overhead=False)
         # A single-process distribution makes the "diagonal domain" cover the
         # whole panel, which is exactly the panel-wide pivot search of LUPP.
@@ -51,5 +55,4 @@ class LUPPSolver(TiledSolverBase):
         )
         record.domain_rows = analysis.domain_rows
         record.add_kernel("panel_pivot_exchange")
-        perform_lu_step(tiles, k, analysis, record)
-        return record
+        return record, lu_step_tasks(tiles, k, analysis, record)

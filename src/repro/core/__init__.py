@@ -2,9 +2,9 @@
 
 from .factorization import Factorization, SolveResult, StepRecord
 from .hybrid import HybridLUQRSolver
-from .lu_step import perform_lu_step
+from .lu_step import lu_step_tasks, perform_lu_step
 from .panel_analysis import PanelAnalysis, analyze_panel
-from .qr_step import perform_qr_step
+from .qr_step import perform_qr_step, qr_step_tasks
 from .solver_base import TiledSolverBase, pad_to_tile_multiple
 
 __all__ = [
@@ -18,4 +18,6 @@ __all__ = [
     "analyze_panel",
     "perform_lu_step",
     "perform_qr_step",
+    "lu_step_tasks",
+    "qr_step_tasks",
 ]

@@ -22,10 +22,11 @@ in the paper, Section V-B).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..criteria.base import RobustnessCriterion
 from ..criteria.max_criterion import MaxCriterion
+from ..runtime.schedule import KernelTask
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 from ..trees.base import ReductionTree
@@ -33,10 +34,10 @@ from ..trees.fibonacci import FibonacciTree
 from ..trees.greedy import GreedyTree
 from ..trees.hierarchical import HierarchicalTree
 from .factorization import StepRecord
-from .lu_step import perform_lu_step
+from .lu_step import lu_step_tasks
 from .panel_analysis import analyze_panel
-from .qr_step import perform_qr_step
-from .solver_base import TiledSolverBase
+from .qr_step import qr_step_tasks
+from .solver_base import Executor, TiledSolverBase
 
 __all__ = ["HybridLUQRSolver"]
 
@@ -63,6 +64,10 @@ class HybridLUQRSolver(TiledSolverBase):
         paper's experimental variant) or only inside the diagonal tile.
     recursive_panel:
         Use the recursive panel LU kernel for the domain factorization.
+    executor:
+        Optional dataflow executor for the numerical kernels; the per-step
+        decision stays sequential but the selected branch's kernels fan
+        out (see :class:`~repro.core.solver_base.TiledSolverBase`).
 
     Examples
     --------
@@ -88,8 +93,11 @@ class HybridLUQRSolver(TiledSolverBase):
         domain_pivoting: bool = True,
         recursive_panel: bool = True,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(tile_size=tile_size, grid=grid, track_growth=track_growth)
+        super().__init__(
+            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+        )
         self.criterion = criterion if criterion is not None else MaxCriterion(alpha=1.0)
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
         self.inter_tree = inter_tree if inter_tree is not None else FibonacciTree()
@@ -108,9 +116,9 @@ class HybridLUQRSolver(TiledSolverBase):
     def _reset(self) -> None:
         self.criterion.reset()
 
-    def _do_step(
+    def _plan_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
-    ) -> StepRecord:
+    ) -> Tuple[StepRecord, List[KernelTask]]:
         record = StepRecord(k=k, kind="LU", decision_overhead=True)
         # Backup of the diagonal-domain panel tiles (Figure 1, BACKUP PANEL).
         # The numerical driver never overwrites the tiles before the decision,
@@ -135,7 +143,7 @@ class HybridLUQRSolver(TiledSolverBase):
         # what the criterion says (there is no factorization to reuse).
         if decision.use_lu and not analysis.singular:
             record.kind = "LU"
-            perform_lu_step(tiles, k, analysis, record)
+            tasks = lu_step_tasks(tiles, k, analysis, record)
         else:
             record.kind = "QR"
             # The domain factorization is discarded and the panel restored
@@ -150,5 +158,5 @@ class HybridLUQRSolver(TiledSolverBase):
                 step=k,
             )
             elims = tree.eliminations_for_step(k, list(range(k, tiles.n)))
-            perform_qr_step(tiles, k, elims, record)
-        return record
+            tasks = qr_step_tasks(tiles, k, elims, record)
+        return record, tasks

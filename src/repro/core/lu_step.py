@@ -10,6 +10,13 @@ GEMM update ``A_ij <- A_ij - A_ik A_kj``.
 
 The attached right-hand side is updated exactly like an extra trailing
 column, so the factorization directly produces the transformed ``b``.
+
+The step is *planned* rather than executed: :func:`lu_step_tasks` emits the
+ordered list of :class:`~repro.runtime.schedule.KernelTask` closures with
+their tile read/write sets, so the same plan can run inline (the sequential
+reference, :func:`perform_lu_step`) or fan out on a dataflow executor with
+dependencies inferred exactly as the DAG builder infers them for the
+performance simulation.
 """
 
 from __future__ import annotations
@@ -20,26 +27,34 @@ import numpy as np
 
 from ..kernels.lu_kernels import apply_swptrsm, eliminate_trsm
 from ..linalg.pivoting import SingularPanelError
+from ..runtime.schedule import KernelTask
+from ..runtime.task import RHS_COLUMN
 from ..tiles.tile_matrix import TileMatrix
 from .factorization import StepRecord
 from .panel_analysis import PanelAnalysis
 
-__all__ = ["perform_lu_step"]
+__all__ = ["perform_lu_step", "lu_step_tasks"]
 
 
-def perform_lu_step(
+def lu_step_tasks(
     tiles: TileMatrix,
     k: int,
     analysis: PanelAnalysis,
     record: StepRecord,
-) -> None:
-    """Apply one LU step (variant A1) in place, using a pre-factored panel.
+) -> List[KernelTask]:
+    """Plan one LU step (variant A1) as a list of kernel tasks.
 
     ``analysis`` must come from :func:`repro.core.panel_analysis.analyze_panel`
     for the same ``tiles`` and ``k``; its domain factorization is reused (it
     is *not* recomputed), exactly as in the paper where the factorization
     performed for the criterion check becomes the factorization of the step
     when the LU branch is selected.
+
+    ``record`` receives the kernel counts at planning time (they describe
+    the step regardless of how it is executed).  Closures read tile state
+    lazily, so the returned tasks are valid for sequential execution in
+    program order and for dataflow execution under the superscalar
+    dependency rules.
     """
     if analysis.factor is None:
         raise SingularPanelError(
@@ -50,13 +65,20 @@ def perform_lu_step(
     domain_rows: List[int] = analysis.domain_rows
     factor = analysis.factor
     domain_set = set(domain_rows)
+    panel_refs = frozenset((i, k) for i in domain_rows)
+    tasks: List[KernelTask] = []
 
     # ------------------------------------------------------------------ #
     # Factor: write the packed domain factorization into the panel tiles.
     # The diagonal tile receives L1\U, the other domain tiles receive their
     # L blocks (which are exactly the Schur multipliers of those rows).
     # ------------------------------------------------------------------ #
-    tiles.scatter_panel(k, domain_rows, factor.lu)
+    def do_factor() -> None:
+        tiles.scatter_panel(k, domain_rows, factor.lu)
+
+    tasks.append(
+        KernelTask("getrf", do_factor, reads=panel_refs, writes=panel_refs)
+    )
     record.add_kernel("getrf")
 
     # ------------------------------------------------------------------ #
@@ -65,16 +87,28 @@ def perform_lu_step(
     # the new row k:  A_kj <- L1^{-1} P A_kj.
     # ------------------------------------------------------------------ #
     for j in range(k + 1, n):
-        stacked = tiles.panel(j, domain_rows)
-        stacked = apply_swptrsm(factor, stacked)
-        tiles.scatter_panel(j, domain_rows, stacked)
+        def do_apply(j=j) -> None:
+            stacked = tiles.panel(j, domain_rows)
+            stacked = apply_swptrsm(factor, stacked)
+            tiles.scatter_panel(j, domain_rows, stacked)
+
+        col_refs = frozenset((i, j) for i in domain_rows)
+        tasks.append(
+            KernelTask("swptrsm", do_apply, reads=panel_refs | col_refs, writes=col_refs)
+        )
         record.add_kernel("swptrsm")
 
     if tiles.has_rhs:
-        stacked_rhs = np.vstack([tiles.rhs_tile(i) for i in domain_rows])
-        stacked_rhs = apply_swptrsm(factor, stacked_rhs)
-        for idx, i in enumerate(domain_rows):
-            tiles.rhs_tile(i)[...] = stacked_rhs[idx * nb : (idx + 1) * nb]
+        def do_apply_rhs() -> None:
+            stacked_rhs = np.vstack([tiles.rhs_tile(i) for i in domain_rows])
+            stacked_rhs = apply_swptrsm(factor, stacked_rhs)
+            for idx, i in enumerate(domain_rows):
+                tiles.rhs_tile(i)[...] = stacked_rhs[idx * nb : (idx + 1) * nb]
+
+        rhs_refs = frozenset((i, RHS_COLUMN) for i in domain_rows)
+        tasks.append(
+            KernelTask("swptrsm", do_apply_rhs, reads=panel_refs | rhs_refs, writes=rhs_refs)
+        )
         record.add_kernel("swptrsm")
 
     # ------------------------------------------------------------------ #
@@ -82,9 +116,18 @@ def perform_lu_step(
     # Schur multipliers A_ik U_kk^{-1}.  (Domain tiles below the diagonal
     # already hold their multipliers from the packed factorization.)
     # ------------------------------------------------------------------ #
-    off_rows = [i for i in range(k + 1, n) if i not in domain_set]
-    for i in off_rows:
-        tiles.set_tile(i, k, eliminate_trsm(factor, tiles.tile(i, k)))
+    for i in (i for i in range(k + 1, n) if i not in domain_set):
+        def do_eliminate(i=i) -> None:
+            tiles.set_tile(i, k, eliminate_trsm(factor, tiles.tile(i, k)))
+
+        tasks.append(
+            KernelTask(
+                "trsm",
+                do_eliminate,
+                reads=frozenset({(k, k), (i, k)}),
+                writes=frozenset({(i, k)}),
+            )
+        )
     # Table I charges one TRSM per sub-diagonal panel tile regardless of
     # which node performs it.
     record.add_kernel("trsm", max(n - k - 1, 0))
@@ -94,10 +137,45 @@ def perform_lu_step(
     # the same update of the RHS tiles.
     # ------------------------------------------------------------------ #
     for i in range(k + 1, n):
-        multiplier = tiles.tile(i, k)
         for j in range(k + 1, n):
-            tiles.tile(i, j)[...] -= multiplier @ tiles.tile(k, j)
+            def do_update(i=i, j=j) -> None:
+                tiles.tile(i, j)[...] -= tiles.tile(i, k) @ tiles.tile(k, j)
+
+            tasks.append(
+                KernelTask(
+                    "gemm",
+                    do_update,
+                    reads=frozenset({(i, k), (k, j), (i, j)}),
+                    writes=frozenset({(i, j)}),
+                )
+            )
             record.add_kernel("gemm")
         if tiles.has_rhs:
-            tiles.rhs_tile(i)[...] -= multiplier @ tiles.rhs_tile(k)
+            def do_update_rhs(i=i) -> None:
+                tiles.rhs_tile(i)[...] -= tiles.tile(i, k) @ tiles.rhs_tile(k)
+
+            tasks.append(
+                KernelTask(
+                    "gemm_rhs",
+                    do_update_rhs,
+                    reads=frozenset({(i, k), (k, RHS_COLUMN), (i, RHS_COLUMN)}),
+                    writes=frozenset({(i, RHS_COLUMN)}),
+                )
+            )
             record.add_kernel("gemm_rhs")
+    return tasks
+
+
+def perform_lu_step(
+    tiles: TileMatrix,
+    k: int,
+    analysis: PanelAnalysis,
+    record: StepRecord,
+) -> None:
+    """Apply one LU step (variant A1) in place, using a pre-factored panel.
+
+    Sequential reference driver: plans the step with :func:`lu_step_tasks`
+    and runs the kernels in program order.
+    """
+    for task in lu_step_tasks(tiles, k, analysis, record):
+        task.fn()

@@ -6,24 +6,32 @@ sub-diagonal tile of the panel is zeroed by an *eliminator* tile according
 to the elimination list produced by a reduction tree (the paper's default
 is a GREEDY tree inside each node and a FIBONACCI tree across nodes).
 
-The driver below walks the elimination list, triangularizing tiles with
+The planner below walks the elimination list, triangularizing tiles with
 GEQRT/UNMQR on demand, coupling tiles with TSQRT/TSMQR (square victims) or
 TTQRT/TTMQR (triangular victims), and applying every transformation to the
-trailing tiles and to the attached right-hand side.
+trailing tiles and to the attached right-hand side.  Like the LU step, the
+work is emitted as a list of :class:`~repro.runtime.schedule.KernelTask`
+closures with tile read/write sets: the compact-WY factors produced by the
+panel kernels flow to their update tasks through a shared factor table,
+and the tile access sets serialize producers before consumers under the
+superscalar dependency rules, so the same plan runs inline (the sequential
+reference) or fans out on a dataflow executor.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..kernels.qr_kernels import geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
+from ..kernels.qr_kernels import QRTileFactor, geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
+from ..runtime.schedule import KernelTask
+from ..runtime.task import RHS_COLUMN
 from ..tiles.tile_matrix import TileMatrix
 from ..trees.base import Elimination, validate_eliminations
 from .factorization import StepRecord
 
-__all__ = ["perform_qr_step", "qr_step_operations"]
+__all__ = ["perform_qr_step", "qr_step_tasks", "qr_step_operations"]
 
 
 def qr_step_operations(
@@ -76,27 +84,162 @@ def qr_step_operations(
     return ops
 
 
-def _triangularize_row(
+def qr_step_tasks(
     tiles: TileMatrix,
-    row: int,
     k: int,
+    eliminations: Sequence[Elimination],
     record: StepRecord,
-    triangular: Set[int],
-) -> None:
-    """GEQRT the panel tile of ``row`` and update its trailing tiles (UNMQR)."""
-    if row in triangular:
-        return
+    validate: bool = True,
+) -> List[KernelTask]:
+    """Plan one QR step as a list of kernel tasks.
+
+    ``eliminations`` must reduce the panel rows ``k..n-1`` to the diagonal
+    row ``k``; it is validated by default (cheap) so that a malformed
+    reduction tree cannot silently corrupt the factorization.  ``record``
+    receives the kernel counts and the elimination list at planning time.
+    """
     n = tiles.n
-    factor = geqrt_tile(tiles.tile(row, k))
-    tiles.set_tile(row, k, np.triu(factor.r))
-    record.add_kernel("geqrt")
-    for j in range(k + 1, n):
-        tiles.set_tile(row, j, unmqr(factor, tiles.tile(row, j)))
-        record.add_kernel("unmqr")
-    if tiles.has_rhs:
-        tiles.rhs_tile(row)[...] = unmqr(factor, tiles.rhs_tile(row))
-        record.add_kernel("unmqr_rhs")
-    triangular.add(row)
+    nb = tiles.nb
+    rows = list(range(k, n))
+    elims: List[Elimination] = list(eliminations)
+    if validate:
+        validate_eliminations(rows, elims)
+
+    # Compact-WY factors flow from the panel kernels to their trailing
+    # updates through this table (keyed by producing event); the tile
+    # read/write sets below guarantee each producer runs first.
+    factors: Dict[Tuple, QRTileFactor] = {}
+    tasks: List[KernelTask] = []
+    triangular: Set[int] = set()
+
+    def emit_triangularize(row: int) -> None:
+        """GEQRT the panel tile of ``row`` and update its trailing tiles."""
+        if row in triangular:
+            return
+
+        def do_geqrt(row=row) -> None:
+            factor = geqrt_tile(tiles.tile(row, k))
+            factors[("geqrt", row)] = factor
+            tiles.set_tile(row, k, np.triu(factor.r))
+
+        tasks.append(
+            KernelTask(
+                "geqrt",
+                do_geqrt,
+                reads=frozenset({(row, k)}),
+                writes=frozenset({(row, k)}),
+            )
+        )
+        record.add_kernel("geqrt")
+        for j in range(k + 1, n):
+            def do_unmqr(row=row, j=j) -> None:
+                factor = factors[("geqrt", row)]
+                tiles.set_tile(row, j, unmqr(factor, tiles.tile(row, j)))
+
+            tasks.append(
+                KernelTask(
+                    "unmqr",
+                    do_unmqr,
+                    reads=frozenset({(row, k), (row, j)}),
+                    writes=frozenset({(row, j)}),
+                )
+            )
+            record.add_kernel("unmqr")
+        if tiles.has_rhs:
+            def do_unmqr_rhs(row=row) -> None:
+                factor = factors[("geqrt", row)]
+                tiles.rhs_tile(row)[...] = unmqr(factor, tiles.rhs_tile(row))
+
+            tasks.append(
+                KernelTask(
+                    "unmqr_rhs",
+                    do_unmqr_rhs,
+                    reads=frozenset({(row, k), (row, RHS_COLUMN)}),
+                    writes=frozenset({(row, RHS_COLUMN)}),
+                )
+            )
+            record.add_kernel("unmqr_rhs")
+        triangular.add(row)
+
+    # The diagonal tile must end up triangular even if no elimination uses
+    # it as an eliminator (single-row panel, or trees rooted elsewhere merge
+    # into it last with TT kernels which triangularize it on demand).
+    if not elims:
+        emit_triangularize(k)
+        return tasks
+
+    for e in elims:
+        emit_triangularize(e.eliminator)
+        if e.kind == "TT":
+            emit_triangularize(e.killed)
+            couple, couple_name = ttqrt, "ttqrt"
+            update_name, update_rhs_name = "ttmqr", "ttmqr_rhs"
+        else:
+            couple, couple_name = tsqrt, "tsqrt"
+            update_name, update_rhs_name = "tsmqr", "tsmqr_rhs"
+        key = ("couple", e.eliminator, e.killed)
+        panel_pair = frozenset({(e.eliminator, k), (e.killed, k)})
+
+        def do_couple(e=e, couple=couple, key=key) -> None:
+            factor = couple(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
+            factors[key] = factor
+            tiles.set_tile(e.eliminator, k, np.triu(factor.r))
+            tiles.set_tile(e.killed, k, np.zeros((nb, nb)))
+
+        tasks.append(
+            KernelTask(couple_name, do_couple, reads=panel_pair, writes=panel_pair)
+        )
+        record.add_kernel(couple_name)
+
+        for j in range(k + 1, n):
+            def do_update(e=e, j=j, key=key) -> None:
+                factor = factors[key]
+                top, bottom = tsmqr(
+                    factor, tiles.tile(e.eliminator, j), tiles.tile(e.killed, j)
+                )
+                tiles.set_tile(e.eliminator, j, top)
+                tiles.set_tile(e.killed, j, bottom)
+
+            pair_j = frozenset({(e.eliminator, j), (e.killed, j)})
+            tasks.append(
+                KernelTask(
+                    update_name,
+                    do_update,
+                    reads=pair_j | frozenset({(e.killed, k)}),
+                    writes=pair_j,
+                )
+            )
+            record.add_kernel(update_name)
+        if tiles.has_rhs:
+            def do_update_rhs(e=e, key=key) -> None:
+                factor = factors[key]
+                top, bottom = tsmqr(
+                    factor, tiles.rhs_tile(e.eliminator), tiles.rhs_tile(e.killed)
+                )
+                tiles.rhs_tile(e.eliminator)[...] = top
+                tiles.rhs_tile(e.killed)[...] = bottom
+
+            pair_rhs = frozenset(
+                {(e.eliminator, RHS_COLUMN), (e.killed, RHS_COLUMN)}
+            )
+            tasks.append(
+                KernelTask(
+                    update_rhs_name,
+                    do_update_rhs,
+                    reads=pair_rhs | frozenset({(e.killed, k)}),
+                    writes=pair_rhs,
+                )
+            )
+            record.add_kernel(update_rhs_name)
+
+    # Make sure the surviving diagonal tile is triangular (it always is when
+    # it acted as an eliminator at least once, but a defensive GEQRT keeps
+    # the invariant for degenerate trees).
+    if k not in triangular:
+        emit_triangularize(k)
+
+    record.eliminations = elims
+    return tasks
 
 
 def perform_qr_step(
@@ -108,56 +251,8 @@ def perform_qr_step(
 ) -> None:
     """Apply one QR step in place, following the given elimination list.
 
-    ``eliminations`` must reduce the panel rows ``k..n-1`` to the diagonal
-    row ``k``; it is validated by default (cheap) so that a malformed
-    reduction tree cannot silently corrupt the factorization.
+    Sequential reference driver: plans the step with :func:`qr_step_tasks`
+    and runs the kernels in program order.
     """
-    n = tiles.n
-    nb = tiles.nb
-    rows = list(range(k, n))
-    elims: List[Elimination] = list(eliminations)
-    if validate:
-        validate_eliminations(rows, elims)
-
-    triangular: Set[int] = set()
-
-    # The diagonal tile must end up triangular even if no elimination uses
-    # it as an eliminator (single-row panel, or trees rooted elsewhere merge
-    # into it last with TT kernels which triangularize it on demand).
-    if not elims:
-        _triangularize_row(tiles, k, k, record, triangular)
-        return
-
-    for e in elims:
-        _triangularize_row(tiles, e.eliminator, k, record, triangular)
-        if e.kind == "TT":
-            _triangularize_row(tiles, e.killed, k, record, triangular)
-            factor = ttqrt(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
-            record.add_kernel("ttqrt")
-            update_name, update_rhs_name = "ttmqr", "ttmqr_rhs"
-        else:
-            factor = tsqrt(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
-            record.add_kernel("tsqrt")
-            update_name, update_rhs_name = "tsmqr", "tsmqr_rhs"
-
-        tiles.set_tile(e.eliminator, k, np.triu(factor.r))
-        tiles.set_tile(e.killed, k, np.zeros((nb, nb)))
-
-        for j in range(k + 1, n):
-            top, bottom = tsmqr(factor, tiles.tile(e.eliminator, j), tiles.tile(e.killed, j))
-            tiles.set_tile(e.eliminator, j, top)
-            tiles.set_tile(e.killed, j, bottom)
-            record.add_kernel(update_name)
-        if tiles.has_rhs:
-            top, bottom = tsmqr(factor, tiles.rhs_tile(e.eliminator), tiles.rhs_tile(e.killed))
-            tiles.rhs_tile(e.eliminator)[...] = top
-            tiles.rhs_tile(e.killed)[...] = bottom
-            record.add_kernel(update_rhs_name)
-
-    # Make sure the surviving diagonal tile is triangular (it always is when
-    # it acted as an eliminator at least once, but a defensive GEQRT keeps
-    # the invariant for degenerate trees).
-    if k not in triangular:
-        _triangularize_row(tiles, k, k, record, triangular)
-
-    record.eliminations = elims
+    for task in qr_step_tasks(tiles, k, eliminations, record, validate=validate):
+        task.fn()

@@ -8,24 +8,39 @@ padding of matrices whose order is not a multiple of the tile size
 (Section II-D2: "the algorithm can accommodate any N and nb with some
 clean-up codes"), breakdown handling, and the construction of
 :class:`~repro.core.factorization.Factorization` /
-:class:`~repro.core.factorization.SolveResult` objects.  Concrete solvers
-only implement :meth:`TiledSolverBase._do_step`.
+:class:`~repro.core.factorization.SolveResult` objects.
+
+Concrete solvers implement :meth:`TiledSolverBase._plan_step`, which makes
+the per-step decision (criterion evaluation, panel analysis — inherently
+sequential, mirroring the paper's BACKUP/LU-ON-PANEL/PROPAGATE control
+layer) and returns the step's numerical kernels as a task list.  The base
+driver then either runs the kernels in program order (the sequential
+reference) or, when an ``executor`` is configured, materialises them as a
+:class:`~repro.runtime.graph.TaskGraph` and fans them out on the dataflow
+executor — the execution model of the paper's PaRSEC runtime inside one
+node.  Both paths execute the exact same kernel closures, so they produce
+bit-identical factors.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..linalg.pivoting import SingularPanelError
+from ..runtime.executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from ..runtime.schedule import KernelTask, run_step_tasks, written_tiles
 from ..stability.growth import GrowthTracker
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 from .factorization import Factorization, SolveResult, StepRecord
 
 __all__ = ["TiledSolverBase", "pad_to_tile_multiple"]
+
+#: Type of the executors accepted by :class:`TiledSolverBase`.
+Executor = Union[SequentialExecutor, ThreadedExecutor]
 
 
 def pad_to_tile_multiple(
@@ -36,7 +51,9 @@ def pad_to_tile_multiple(
     The padding appends an identity block in the bottom-right corner and
     zeros elsewhere, which leaves the solution of the original system
     unchanged in its leading entries.  Returns ``(a_padded, b_padded, pad)``
-    where ``pad`` is the number of appended rows/columns.
+    where ``pad`` is the number of appended rows/columns.  A 1-D ``b`` is
+    returned as a padded ``(n + pad, 1)`` column (the solvers work on 2-D
+    right-hand sides internally and unpad at the end).
     """
     n = a.shape[0]
     pad = (-n) % tile_size
@@ -51,8 +68,6 @@ def pad_to_tile_multiple(
         b2 = b.reshape(n, -1)
         b_pad = np.zeros((n_new, b2.shape[1]))
         b_pad[:n, :] = b2
-        if b.ndim == 1:
-            b_pad = b_pad  # keep 2-D internally; unpadded later
     return a_pad, b_pad, pad
 
 
@@ -68,8 +83,18 @@ class TiledSolverBase(ABC):
         for diagonal-domain definition and for the performance model).
         Defaults to a single process (shared-memory behaviour).
     track_growth:
-        Record the tile-norm growth factor after every step (costs an extra
-        pass over the trailing tiles; disable for pure benchmarking runs).
+        Record the tile-norm growth factor after every step (tile norms are
+        maintained incrementally from the tiles each step writes, so the
+        overhead is one vectorized pass over the updated region; disable
+        for pure benchmarking runs).
+    executor:
+        Optional dataflow executor.  When set, every elimination step's
+        kernels are materialised as a task graph and dispatched on it (a
+        :class:`~repro.runtime.executor.ThreadedExecutor` overlaps the
+        trailing-matrix updates, since numpy kernels release the GIL inside
+        BLAS); when ``None`` (default) the kernels run inline in program
+        order.  Per-step :class:`~repro.runtime.executor.ExecutionTrace`
+        objects of the last factorization are kept in ``step_traces``.
     """
 
     #: Name used in experiment tables; overridden by subclasses.
@@ -80,21 +105,50 @@ class TiledSolverBase(ABC):
         tile_size: int,
         grid: Optional[ProcessGrid] = None,
         track_growth: bool = True,
+        executor: Optional[Executor] = None,
     ) -> None:
         if tile_size < 1:
             raise ValueError(f"tile_size must be positive, got {tile_size}")
         self.tile_size = int(tile_size)
         self.grid = grid if grid is not None else ProcessGrid(1, 1)
         self.track_growth = bool(track_growth)
+        self.executor = executor
+        #: Per-step execution traces of the last factorization (only
+        #: populated when an executor is configured).
+        self.step_traces: List[ExecutionTrace] = []
+        self._norm_cache: Optional[np.ndarray] = None
+        self._last_written = None
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses
     # ------------------------------------------------------------------ #
     @abstractmethod
+    def _plan_step(
+        self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
+    ) -> Tuple[StepRecord, List[KernelTask]]:
+        """Decide and plan elimination step ``k``.
+
+        Performs the sequential control work (panel analysis, criterion
+        decision) and returns the step's :class:`StepRecord` together with
+        the ordered kernel tasks that carry out the numerical work.
+        """
+
     def _do_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
     ) -> StepRecord:
-        """Perform elimination step ``k`` in place and describe it."""
+        """Perform elimination step ``k`` in place and describe it.
+
+        Default implementation: plan the step, then run its kernels inline
+        or on the configured executor.  Subclasses normally only implement
+        :meth:`_plan_step`; overriding ``_do_step`` directly opts out of
+        the dataflow execution path.
+        """
+        record, tasks = self._plan_step(tiles, dist, k)
+        trace = run_step_tasks(tasks, executor=self.executor, step=k)
+        if trace is not None:
+            self.step_traces.append(trace)
+        self._last_written = written_tiles(tasks)
+        return record
 
     def _criterion_name(self) -> Optional[str]:
         return None
@@ -124,11 +178,19 @@ class TiledSolverBase(ABC):
         tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
         dist = BlockCyclicDistribution(self.grid, tiles.n)
         self._reset()
+        self.step_traces = []
 
-        growth = GrowthTracker(tiles.max_tile_norm()) if self.track_growth else None
+        growth: Optional[GrowthTracker] = None
+        if self.track_growth:
+            self._norm_cache = tiles.region_tile_norms(0, tiles.n, 0, tiles.n)
+            growth = GrowthTracker(float(self._norm_cache.max()))
+        else:
+            self._norm_cache = None
+
         steps = []
         breakdown: Optional[str] = None
         for k in range(tiles.n):
+            self._last_written = None
             try:
                 record = self._do_step(tiles, dist, k)
             except SingularPanelError as exc:
@@ -138,6 +200,8 @@ class TiledSolverBase(ABC):
             if growth is not None:
                 growth.record(self._active_region_max_norm(tiles, k))
 
+        self._norm_cache = None
+        self._last_written = None
         fact = Factorization(
             tiles=tiles,
             steps=steps,
@@ -150,6 +214,20 @@ class TiledSolverBase(ABC):
         fact.padding = pad  # type: ignore[attr-defined]
         return fact
 
+    def _factor_and_back_substitute(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> Tuple[Factorization, np.ndarray]:
+        """Factor ``[A | b]``, raise on breakdown, return the unpadded 2-D solution."""
+        fact = self.factor(a, b)
+        if not fact.succeeded:
+            raise SingularPanelError(
+                f"{self.algorithm} broke down during factorization: {fact.breakdown}"
+            )
+        x_padded = fact.solve()
+        if x_padded.ndim == 1:
+            x_padded = x_padded.reshape(-1, 1)
+        return fact, x_padded[: a.shape[0], :]
+
     def solve(
         self,
         a: np.ndarray,
@@ -159,30 +237,110 @@ class TiledSolverBase(ABC):
         """Solve ``Ax = b`` and evaluate stability against the original data."""
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
-        fact = self.factor(a, b)
-        if not fact.succeeded:
-            raise SingularPanelError(
-                f"{self.algorithm} broke down during factorization: {fact.breakdown}"
-            )
-        x_padded = fact.solve()
-        n = a.shape[0]
-        x = x_padded[:n] if x_padded.ndim == 1 else x_padded[:n, :]
-        if b.ndim == 1 and x.ndim == 2 and x.shape[1] == 1:
-            x = x[:, 0]
+        fact, x2 = self._factor_and_back_substitute(a, b)
+        # The solution keeps the shape of b: a 2-D single-column b yields a
+        # (n, 1) solution so the residual a @ x - b never broadcasts.
+        x = x2[:, 0] if b.ndim == 1 else x2
         from .factorization import SolveResult as _SR  # local import to avoid cycle confusion
         from ..stability.metrics import stability_report
 
         report = stability_report(a, x, b, x_true=x_true)
         return _SR(x=x, factorization=fact, stability=report)
 
+    def solve_many(
+        self,
+        a: np.ndarray,
+        bs: Union[np.ndarray, Sequence[np.ndarray]],
+        x_true: Optional[np.ndarray] = None,
+    ) -> List[SolveResult]:
+        """Solve ``A x_i = b_i`` for a batch of right-hand sides.
+
+        ``A`` is factored **once** — all right-hand sides ride along the
+        factorization as extra trailing columns (Section II-D1) and are
+        back-substituted together — so the amortized cost per solve is one
+        triangular solve.  ``bs`` is an ``(n, nrhs)`` array, a single
+        length-``n`` vector, or a sequence of length-``n`` vectors;
+        ``x_true``, when given, has the
+        same shape as the stacked ``bs``.  Returns one
+        :class:`SolveResult` per right-hand side (all sharing the same
+        :class:`Factorization`).
+        """
+        a = np.asarray(a, dtype=np.float64)
+        if isinstance(bs, np.ndarray):
+            b_mat = np.asarray(bs, dtype=np.float64)
+            if b_mat.ndim == 1:
+                b_mat = b_mat.reshape(-1, 1)  # a single right-hand side
+            elif b_mat.ndim != 2:
+                raise ValueError(
+                    f"right-hand sides must form a 1-D or 2-D array, got ndim={b_mat.ndim}"
+                )
+        else:
+            b_mat = np.column_stack(
+                [np.asarray(b, dtype=np.float64).reshape(-1) for b in bs]
+            )
+        if b_mat.shape[0] != a.shape[0]:
+            raise ValueError(
+                f"right-hand sides have {b_mat.shape[0]} rows but A has order {a.shape[0]}"
+            )
+        xt_mat: Optional[np.ndarray] = None
+        if x_true is not None:
+            # Accept the same forms as ``bs`` (array or sequence of vectors).
+            if isinstance(x_true, np.ndarray):
+                xt_mat = np.asarray(x_true, dtype=np.float64)
+                if xt_mat.ndim == 1:
+                    xt_mat = xt_mat.reshape(-1, 1)
+            else:
+                xt_mat = np.column_stack(
+                    [np.asarray(x, dtype=np.float64).reshape(-1) for x in x_true]
+                )
+            if xt_mat.shape != b_mat.shape:
+                raise ValueError(
+                    f"x_true has shape {xt_mat.shape} but the right-hand sides "
+                    f"have shape {b_mat.shape}"
+                )
+
+        fact, x = self._factor_and_back_substitute(a, b_mat)
+
+        from ..stability.metrics import stability_report
+
+        results: List[SolveResult] = []
+        for j in range(b_mat.shape[1]):
+            report = stability_report(
+                a,
+                x[:, j],
+                b_mat[:, j],
+                x_true=None if xt_mat is None else xt_mat[:, j],
+            )
+            results.append(
+                SolveResult(x=x[:, j], factorization=fact, stability=report)
+            )
+        return results
+
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _active_region_max_norm(tiles: TileMatrix, k: int) -> float:
-        """Largest tile 1-norm over the region touched at/after step ``k``."""
-        best = 0.0
-        for i in range(k, tiles.n):
-            for j in range(k, tiles.n):
-                best = max(best, tiles.tile_norm(i, j, ord=1))
-        return best
+    def _active_region_max_norm(self, tiles: TileMatrix, k: int) -> float:
+        """Largest tile 1-norm over the region touched at/after step ``k``.
+
+        Maintained incrementally: only the tiles written during the step
+        (known from the step's task plan) have their norms recomputed —
+        vectorized over the written bounding box — and the region maximum
+        is read from the cache.  Falls back to a full vectorized rescan of
+        the trailing region when no write information is available (e.g. a
+        subclass overriding ``_do_step`` directly).
+        """
+        n = tiles.n
+        cache = self._norm_cache
+        if cache is None:
+            return float(tiles.region_tile_norms(k, n, k, n).max())
+        written = self._last_written
+        if written is None:
+            cache[k:, k:] = tiles.region_tile_norms(k, n, k, n)
+        else:
+            rows = [i for (i, j) in written if 0 <= j < n]
+            cols = [j for (i, j) in written if 0 <= j < n]
+            if rows:
+                i0, i1 = min(rows), max(rows) + 1
+                j0, j1 = min(cols), max(cols) + 1
+                cache[i0:i1, j0:j1] = tiles.region_tile_norms(i0, i1, j0, j1)
+        return float(cache[k:, k:].max())

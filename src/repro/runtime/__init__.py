@@ -4,6 +4,13 @@ from .dataflow import DataflowStage, StepDataflow
 from .executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
 from .graph import TaskGraph
 from .platform import Platform, dancer_platform, laptop_platform
+from .schedule import (
+    KernelTask,
+    build_step_graph,
+    merge_traces,
+    run_step_tasks,
+    written_tiles,
+)
 from .simulator import ScheduledTask, SimulationResult, simulate
 from .task import Task, TileRef
 
@@ -11,6 +18,11 @@ __all__ = [
     "Task",
     "TileRef",
     "TaskGraph",
+    "KernelTask",
+    "build_step_graph",
+    "run_step_tasks",
+    "merge_traces",
+    "written_tiles",
     "Platform",
     "dancer_platform",
     "laptop_platform",

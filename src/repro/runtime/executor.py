@@ -40,21 +40,37 @@ class ExecutionTrace:
     def n_tasks(self) -> int:
         return len(self.finish_times)
 
+    @property
+    def n_started(self) -> int:
+        """Tasks that started, whether or not they finished (errored runs)."""
+        return len(self.start_times)
+
     def concurrency_profile(self, resolution: int = 200) -> List[int]:
-        """Number of tasks in flight sampled at ``resolution`` points."""
-        if not self.finish_times:
+        """Number of tasks in flight sampled at ``resolution`` points.
+
+        Robust to partial traces: a task that started but never finished
+        (it errored, or the run timed out) is counted as in flight until
+        the end of the sampled window.
+        """
+        # Snapshot the dicts: after a timeout, a leaked worker thread may
+        # still be writing into this trace while the caller inspects it.
+        start_times = dict(self.start_times)
+        finish_times = dict(self.finish_times)
+        if not start_times:
             return []
-        t0 = min(self.start_times.values())
-        t1 = max(self.finish_times.values())
+        t0 = min(start_times.values())
+        t1 = max(start_times.values())
+        if finish_times:
+            t1 = max(t1, max(finish_times.values()))
         if t1 <= t0:
-            return [self.n_tasks]
+            return [len(start_times)]
         points = [t0 + (t1 - t0) * i / (resolution - 1) for i in range(resolution)]
         out = []
         for p in points:
             running = sum(
                 1
-                for uid in self.start_times
-                if self.start_times[uid] <= p < self.finish_times[uid]
+                for uid, start in start_times.items()
+                if start <= p < finish_times.get(uid, float("inf"))
             )
             out.append(running)
         return out
@@ -66,19 +82,33 @@ class ExecutionTrace:
 
 
 class SequentialExecutor:
-    """Run every task of the graph in topological (submission) order."""
+    """Run every task of the graph in topological (submission) order.
+
+    The trace of the most recent :meth:`run` call is kept in
+    ``last_trace`` so it stays inspectable even when a task raised.
+    """
+
+    def __init__(self) -> None:
+        self.last_trace: Optional[ExecutionTrace] = None
 
     def run(self, graph: TaskGraph) -> ExecutionTrace:
         trace = ExecutionTrace()
+        self.last_trace = trace
         t_begin = time.perf_counter()
-        for uid in graph.topological_order():
-            task = graph.task(uid)
-            trace.start_times[uid] = time.perf_counter()
-            if task.fn is not None:
-                task.fn()
-            trace.finish_times[uid] = time.perf_counter()
-            trace.worker_of_task[uid] = "main"
-        trace.wall_time = time.perf_counter() - t_begin
+        try:
+            for uid in graph.topological_order():
+                task = graph.task(uid)
+                trace.start_times[uid] = time.perf_counter()
+                trace.worker_of_task[uid] = "main"
+                try:
+                    if task.fn is not None:
+                        task.fn()
+                finally:
+                    # Record a finish time even for a task that raised, so
+                    # the partial trace stays inspectable.
+                    trace.finish_times[uid] = time.perf_counter()
+        finally:
+            trace.wall_time = time.perf_counter() - t_begin
         return trace
 
 
@@ -89,15 +119,23 @@ class ThreadedExecutor:
     ----------
     workers:
         Number of worker threads (cores of the simulated node).
+
+    The trace of the most recent :meth:`run` call is kept in ``last_trace``
+    so partial traces stay inspectable after a task error or a timeout.
+    After a :exc:`TimeoutError`, tasks that were mid-execution keep running
+    detached (threads cannot be cancelled), so the data the graph's
+    closures write must be treated as indeterminate by the caller.
     """
 
     def __init__(self, workers: int = 4) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
+        self.last_trace: Optional[ExecutionTrace] = None
 
     def run(self, graph: TaskGraph, timeout: Optional[float] = None) -> ExecutionTrace:
         trace = ExecutionTrace()
+        self.last_trace = trace
         tasks = graph.tasks
         if not tasks:
             return trace
@@ -112,6 +150,12 @@ class ThreadedExecutor:
         t_begin = time.perf_counter()
 
         def execute(uid: int) -> None:
+            with lock:
+                if errors:
+                    # A task already failed: abort cleanly without starting
+                    # new work (successors of the failed task were never
+                    # released, and already-queued tasks drain here).
+                    return
             task = tasks[uid]
             trace.start_times[uid] = time.perf_counter()
             trace.worker_of_task[uid] = threading.current_thread().name
@@ -119,6 +163,9 @@ class ThreadedExecutor:
                 if task.fn is not None:
                     task.fn()
             except BaseException as exc:  # propagate to the caller
+                # Record the finish time so the partial trace is inspectable
+                # (concurrency_profile, per-task timings) after the failure.
+                trace.finish_times[uid] = time.perf_counter()
                 with lock:
                     errors.append(exc)
                     done.set()
@@ -134,18 +181,37 @@ class ThreadedExecutor:
                     if remaining[succ] == 0:
                         newly_ready.append(succ)
             for succ in newly_ready:
-                pool.submit(execute, succ)
+                try:
+                    pool.submit(execute, succ)
+                except RuntimeError:
+                    # The pool was shut down after an error/timeout in
+                    # another task; drop the successor.
+                    return
 
-        with ThreadPoolExecutor(max_workers=self.workers, thread_name_prefix="worker") as pool:
-            initial = [t.uid for t in tasks if remaining[t.uid] == 0]
-            if not initial:
-                raise ValueError("task graph has no source task (dependency cycle?)")
+        initial = [t.uid for t in tasks if remaining[t.uid] == 0]
+        if not initial:
+            raise ValueError("task graph has no source task (dependency cycle?)")
+        pool = ThreadPoolExecutor(max_workers=self.workers, thread_name_prefix="worker")
+        completed = False
+        try:
             for uid in initial:
                 pool.submit(execute, uid)
-            if not done.wait(timeout=timeout):
-                raise TimeoutError("task graph execution timed out")
+            completed = done.wait(timeout=timeout)
+        finally:
+            # On timeout, do not block on tasks that may never return.
+            # Python threads cannot be killed: an in-flight task keeps
+            # running detached and may still write the trace *and* whatever
+            # data its closure touches, so after a TimeoutError the graph's
+            # data must be treated as indeterminate.  Queued-but-unstarted
+            # tasks are cancelled.
+            pool.shutdown(wait=completed, cancel_futures=not completed)
 
+        trace.wall_time = time.perf_counter() - t_begin
+        if not completed:
+            raise TimeoutError(
+                f"task graph execution timed out after {timeout} s "
+                f"({len(trace.finish_times)}/{len(tasks)} tasks finished)"
+            )
         if errors:
             raise errors[0]
-        trace.wall_time = time.perf_counter() - t_begin
         return trace

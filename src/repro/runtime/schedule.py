@@ -1,0 +1,146 @@
+"""Schedule the *numerical* kernels of one elimination step on an executor.
+
+The numerical drivers (:mod:`repro.core.lu_step`, :mod:`repro.core.qr_step`,
+the baselines) describe each elimination step as an ordered list of
+:class:`KernelTask` objects: a kernel name, the tiles it reads and writes,
+and a closure performing the actual numpy computation.  This module turns
+such a list into a :class:`~repro.runtime.graph.TaskGraph` — dependencies
+are inferred with the same superscalar (last-writer) analysis PaRSEC uses,
+exactly as :mod:`repro.core.dag_builder` does for the performance
+simulation — and runs it on a real executor.
+
+The per-step criterion decision of the hybrid algorithm stays sequential
+(it is inherently dynamic, mirroring the BACKUP / LU ON PANEL / PROPAGATE
+control layer of :mod:`repro.runtime.dataflow`), but every panel
+elimination and trailing-matrix update within a step fans out; since numpy
+kernels release the GIL inside BLAS, the updates genuinely overlap on a
+:class:`~repro.runtime.executor.ThreadedExecutor`.
+
+``build_step_graph`` accepts an existing graph to append to, which is the
+seam for cross-step lookahead: a scheduler that plans step ``k+1``'s panel
+tasks before step ``k``'s trailing update has drained can submit both task
+lists into one graph and let the superscalar dependencies interleave them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional, Sequence
+
+from .executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from .graph import TaskGraph
+from .task import TileRef
+
+__all__ = [
+    "KernelTask",
+    "build_step_graph",
+    "run_step_tasks",
+    "merge_traces",
+    "written_tiles",
+]
+
+
+@dataclass
+class KernelTask:
+    """One numerical kernel invocation of an elimination step.
+
+    Attributes
+    ----------
+    kernel:
+        Lower-case kernel name (``"getrf"``, ``"gemm"``, ``"tsqrt"``, ...).
+    fn:
+        Closure performing the kernel on the tile matrix.  Closures read
+        tile state lazily (at execution time), so the same task list can be
+        run sequentially or handed to an executor.
+    reads / writes:
+        Tile coordinates accessed; right-hand-side tiles use the
+        ``(i, RHS_COLUMN)`` convention of :mod:`repro.runtime.task`.
+        Dependencies between tasks are inferred from these sets.
+    flops:
+        Optional flop count (forwarded to the graph for diagnostics).
+    """
+
+    kernel: str
+    fn: Callable[[], None]
+    reads: FrozenSet[TileRef] = frozenset()
+    writes: FrozenSet[TileRef] = frozenset()
+    flops: float = 0.0
+
+
+def build_step_graph(
+    tasks: Sequence[KernelTask],
+    step: int = 0,
+    graph: Optional[TaskGraph] = None,
+) -> TaskGraph:
+    """Materialise kernel tasks as a :class:`TaskGraph`.
+
+    Tasks must be given in the sequential (program) order of the step;
+    read/write dependencies are inferred by the graph's superscalar
+    analysis.  Passing an existing ``graph`` appends the tasks to it —
+    the entry point for cross-step lookahead.
+    """
+    if graph is None:
+        graph = TaskGraph()
+    for t in tasks:
+        graph.add_task(
+            kernel=t.kernel,
+            step=step,
+            reads=t.reads,
+            writes=t.writes,
+            flops=t.flops,
+            fn=t.fn,
+        )
+    return graph
+
+
+def run_step_tasks(
+    tasks: Sequence[KernelTask],
+    executor: "Optional[SequentialExecutor | ThreadedExecutor]" = None,
+    step: int = 0,
+) -> Optional[ExecutionTrace]:
+    """Execute one step's kernel tasks, sequentially or on an executor.
+
+    With ``executor=None`` the tasks simply run in program order with no
+    graph overhead (the sequential reference path); otherwise the task
+    graph is materialised and dispatched, and the execution trace is
+    returned so callers can inspect the achieved parallelism.
+    """
+    if executor is None:
+        for t in tasks:
+            t.fn()
+        return None
+    graph = build_step_graph(tasks, step=step)
+    return executor.run(graph)
+
+
+def written_tiles(tasks: Iterable[KernelTask]) -> FrozenSet[TileRef]:
+    """Union of the tiles written by the given tasks (RHS refs included)."""
+    out: set = set()
+    for t in tasks:
+        out.update(t.writes)
+    return frozenset(out)
+
+
+def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
+    """Concatenate per-step traces into one (uids offset per step).
+
+    The merged trace keeps real wall-clock timestamps, so the concurrency
+    profile of a whole factorization (one trace per elimination step) can
+    be inspected at once; ``wall_time`` is the sum of the step wall times.
+    """
+    merged = ExecutionTrace()
+    offset = 0
+    for tr in traces:
+        for uid, t in tr.start_times.items():
+            merged.start_times[offset + uid] = t
+        for uid, t in tr.finish_times.items():
+            merged.finish_times[offset + uid] = t
+        for uid, w in tr.worker_of_task.items():
+            merged.worker_of_task[offset + uid] = w
+        merged.wall_time += tr.wall_time
+        # Advance past the largest uid seen, not the entry count: a partial
+        # trace (errored/timed-out run) has non-contiguous uids, and a
+        # length-based offset would collide with the next trace's entries.
+        seen = set(tr.start_times) | set(tr.finish_times)
+        offset += (max(seen) + 1) if seen else 0
+    return merged

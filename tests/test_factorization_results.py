@@ -33,6 +33,46 @@ class TestPadding:
         a2, b2, pad = pad_to_tile_multiple(rng.standard_normal((10, 10)), None, 4)
         assert pad == 2 and b2 is None
 
+    @pytest.mark.parametrize("n,nb", [(13, 8), (21, 8), (7, 4), (30, 16)])
+    def test_round_trip_1d_rhs(self, rng, n, nb):
+        """Solving a padded system returns the original 1-D solution."""
+        a = rng.standard_normal((n, n)) + 4 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+
+        a2, b2, pad = pad_to_tile_multiple(a, b, nb)
+        assert pad == (-n) % nb and pad > 0
+        assert a2.shape == (n + pad, n + pad)
+        # The 1-D rhs is carried as a padded column internally.
+        assert b2.shape == (n + pad, 1)
+        np.testing.assert_array_equal(b2[:n, 0], b)
+        np.testing.assert_array_equal(b2[n:, 0], 0.0)
+
+        # End-to-end through a solver: the unpadded solution matches.
+        res = HybridLUQRSolver(nb, MaxCriterion(10.0)).solve(a, b)
+        assert res.x.shape == (n,)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
+    @pytest.mark.parametrize("n,nb,nrhs", [(13, 8, 3), (21, 4, 2)])
+    def test_round_trip_2d_rhs(self, rng, n, nb, nrhs):
+        """Padding preserves every column of a 2-D right-hand side."""
+        a = rng.standard_normal((n, n)) + 4 * np.eye(n)
+        x_true = rng.standard_normal((n, nrhs))
+        b = a @ x_true
+
+        a2, b2, pad = pad_to_tile_multiple(a, b, nb)
+        assert b2.shape == (n + pad, nrhs)
+        np.testing.assert_array_equal(b2[:n], b)
+        np.testing.assert_array_equal(b2[n:], 0.0)
+        # The padded identity block leaves each column's solution unchanged.
+        x2 = np.linalg.solve(a2, b2)
+        np.testing.assert_allclose(x2[:n], x_true, atol=1e-8)
+        np.testing.assert_allclose(x2[n:], 0.0, atol=1e-10)
+
+        res = HybridLUQRSolver(nb, MaxCriterion(10.0)).solve(a, b)
+        assert res.x.shape == (n, nrhs)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
 
 class TestStepRecord:
     def test_add_kernel_accumulates(self):

@@ -256,6 +256,82 @@ class TestExecutors:
         assert ThreadedExecutor(workers=2).run(TaskGraph()).n_tasks == 0
 
 
+class TestExecutorErrorHandling:
+    def _failing_graph(self):
+        g = TaskGraph()
+        g.add_task(kernel="ok", step=0, writes={(0, 0)}, fn=lambda: None)
+
+        def boom():
+            raise RuntimeError("kernel failed")
+
+        g.add_task(kernel="boom", step=0, reads={(0, 0)}, fn=boom)
+        g.add_task(kernel="never", step=0, extra_deps=[1], fn=lambda: None)
+        return g
+
+    def test_concurrency_profile_with_unfinished_task(self):
+        """Regression: a started-but-unfinished task must not raise KeyError."""
+        from repro.runtime import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.start_times = {0: 0.0, 1: 0.5}
+        trace.finish_times = {0: 1.0}  # task 1 started but never finished
+        profile = trace.concurrency_profile(resolution=10)
+        assert profile  # no KeyError
+        assert max(profile) == 2  # both overlap in [0.5, 1.0)
+        assert profile[-1] >= 1  # the unfinished task is in flight until t1
+
+    def test_concurrency_profile_all_unfinished(self):
+        from repro.runtime import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.start_times = {0: 0.0, 1: 0.25}
+        profile = trace.concurrency_profile(resolution=5)
+        assert profile[-1] == 2
+
+    def test_threaded_error_trace_inspectable(self):
+        executor = ThreadedExecutor(workers=2)
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            executor.run(self._failing_graph())
+        trace = executor.last_trace
+        assert trace is not None
+        assert trace.wall_time > 0.0  # set before raising
+        # The errored task has both a start and a finish time recorded.
+        assert 1 in trace.start_times and 1 in trace.finish_times
+        # The successor of the failed task never started.
+        assert 2 not in trace.start_times
+        # The partial trace supports analysis without raising.
+        assert trace.concurrency_profile()
+        assert trace.max_concurrency >= 1
+
+    def test_sequential_error_trace_inspectable(self):
+        executor = SequentialExecutor()
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            executor.run(self._failing_graph())
+        trace = executor.last_trace
+        assert trace.wall_time > 0.0
+        assert 1 in trace.finish_times
+        assert trace.concurrency_profile()
+
+    def test_threaded_timeout_partial_trace(self):
+        import time
+
+        g = TaskGraph()
+        g.add_task(kernel="slow", step=0, fn=lambda: time.sleep(0.4))
+        executor = ThreadedExecutor(workers=1)
+        with pytest.raises(TimeoutError):
+            executor.run(g, timeout=0.05)
+        trace = executor.last_trace
+        assert trace.wall_time > 0.0
+        assert trace.n_started == 1
+        assert trace.concurrency_profile()  # robust to the unfinished task
+
+    def test_threaded_completes_within_timeout(self):
+        g = TaskGraph()
+        g.add_task(kernel="fast", step=0, fn=lambda: None)
+        trace = ThreadedExecutor(workers=1).run(g, timeout=10.0)
+        assert trace.n_tasks == 1
+
+
 # --------------------------------------------------------------------------- #
 # Dynamic per-step dataflow
 # --------------------------------------------------------------------------- #
