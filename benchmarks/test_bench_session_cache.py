@@ -1,0 +1,85 @@
+"""Benchmark: amortized solve latency through the ``SolverSession`` cache.
+
+Compares three ways of serving repeated ``Ax = b`` requests against the
+same matrix:
+
+* **cold** — a fresh solver factors ``A`` for every request (the
+  pre-session behaviour);
+* **session-warm** — the session's factorization cache is primed, so each
+  request is one matmul plus the tiled back-substitution;
+* the *first* session request (the miss that factors ``[A | I]``) is
+  reported separately so the break-even point is visible.
+
+The warm path should be one to two orders of magnitude faster than the
+cold path at benchmark scale, which is the entire point of the serving
+layer.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def _system(bench_config, seed=5):
+    rng = np.random.default_rng(seed)
+    n = bench_config.n_order
+    a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+    return a, rng
+
+
+SOLVER_SPEC = dict(algorithm="hybrid", criterion="max(alpha=50)")
+
+
+@pytest.mark.benchmark(group="session-cache")
+def test_cold_solve_refactors_every_request(benchmark, bench_config):
+    a, rng = _system(bench_config)
+    n = a.shape[0]
+    solver = repro.make_solver(tile_size=bench_config.tile_size, **SOLVER_SPEC)
+
+    def cold_request():
+        return solver.solve(a, rng.standard_normal(n))
+
+    result = benchmark(cold_request)
+    assert result.hpl3 < 50
+    print(f"\ncold: every request factors A (order {n})")
+
+
+@pytest.mark.benchmark(group="session-cache")
+def test_warm_session_serves_from_cache(benchmark, bench_config):
+    a, rng = _system(bench_config)
+    n = a.shape[0]
+    session = repro.SolverSession(
+        tile_size=bench_config.tile_size, **SOLVER_SPEC
+    )
+    session.warm(a)  # pay the miss outside the timed region
+
+    def warm_request():
+        return session.solve(a, rng.standard_normal(n))
+
+    result = benchmark(warm_request)
+    assert result.hpl3 < 50
+    assert session.stats.misses == 1
+    assert session.stats.hits >= 1
+    print(
+        f"\nwarm: {session.stats.hits} hits / {session.stats.misses} miss "
+        f"(hit rate {100 * session.stats.hit_rate:.1f}%), factoring cost "
+        f"{session.stats.factor_seconds * 1e3:.1f} ms paid once"
+    )
+
+
+@pytest.mark.benchmark(group="session-cache")
+def test_session_miss_cost(benchmark, bench_config):
+    """The one-off cost of a miss: factoring [A | I] for arbitrary-RHS serving."""
+    a, rng = _system(bench_config)
+
+    def miss():
+        session = repro.SolverSession(
+            tile_size=bench_config.tile_size, **SOLVER_SPEC
+        )
+        session.warm(a)
+        return session
+
+    session = benchmark(miss)
+    assert session.stats.misses == 1
+    print("\nmiss: factors [A | I] once, amortized over every later hit")

@@ -5,7 +5,6 @@ pure-Python kernels themselves: factors the same random matrix with every
 algorithm and reports wall-clock time per factorization.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

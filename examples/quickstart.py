@@ -13,13 +13,7 @@ Run with ``python examples/quickstart.py``.
 
 import numpy as np
 
-from repro import (
-    HQRSolver,
-    HybridLUQRSolver,
-    LUNoPivSolver,
-    MaxCriterion,
-    ProcessGrid,
-)
+import repro
 
 
 def main() -> None:
@@ -30,13 +24,16 @@ def main() -> None:
     x_true = rng.standard_normal(n)
     b = a @ x_true
 
-    # The hybrid solver: Max criterion, threshold alpha = 50, on a virtual
-    # 2x2 process grid (the grid defines the diagonal domains used for the
-    # node-local pivot search).
-    solver = HybridLUQRSolver(
+    # The hybrid solver through the declarative facade: Max criterion,
+    # threshold alpha = 50, on a virtual 2x2 process grid (the grid defines
+    # the diagonal domains used for the node-local pivot search).  String
+    # specs resolve through the plugin registries; the built solver is the
+    # same object a hand-written constructor call would produce.
+    solver = repro.make_solver(
+        algorithm="hybrid",
         tile_size=nb,
-        criterion=MaxCriterion(alpha=50.0),
-        grid=ProcessGrid(2, 2),
+        criterion="max(alpha=50)",
+        grid=(2, 2),
     )
     result = solver.solve(a, b, x_true=x_true)
     fact = result.factorization
@@ -51,15 +48,15 @@ def main() -> None:
     print(f"  tile-norm growth factor   : {fact.growth_factor:.3e}")
     print(f"  theoretical growth bound  : {solver.criterion.growth_bound(fact.tiles.n):.3e}")
 
-    # Compare against the two extremes.
+    # Compare against the two extremes through the one-call facade.
     print("\nComparison against the pure baselines")
-    for name, baseline in (
-        ("LU NoPiv (all LU, tile pivoting)", LUNoPivSolver(tile_size=nb)),
-        ("HQR      (all QR)", HQRSolver(tile_size=nb, grid=ProcessGrid(2, 2))),
+    for label, spec in (
+        ("LU NoPiv (all LU, tile pivoting)", dict(algorithm="lu_nopiv")),
+        ("HQR      (all QR)", dict(algorithm="hqr", grid=(2, 2))),
     ):
-        res = baseline.solve(a, b, x_true=x_true)
+        res = repro.solve(a, b, x_true=x_true, tile_size=nb, **spec)
         print(
-            f"  {name:34s} HPL3 = {res.hpl3:9.3e}   forward error = "
+            f"  {label:34s} HPL3 = {res.hpl3:9.3e}   forward error = "
             f"{res.stability.forward_error:9.3e}"
         )
 

@@ -11,14 +11,30 @@ experiment harnesses that regenerate every table and figure of the paper.
 
 Quick start
 -----------
+The canonical entry point is the declarative facade: name an algorithm and
+its policies as string specs and let the plugin registries assemble the
+solver (``repro.make_solver`` returns the same object you would construct
+by hand, so the results are bit-identical):
+
 >>> import numpy as np
->>> from repro import HybridLUQRSolver, MaxCriterion
+>>> import repro
 >>> rng = np.random.default_rng(0)
 >>> a = rng.standard_normal((96, 96)); b = rng.standard_normal(96)
->>> solver = HybridLUQRSolver(tile_size=8, criterion=MaxCriterion(alpha=50.0))
->>> result = solver.solve(a, b)
+>>> result = repro.solve(a, b, algorithm="hybrid", tile_size=8,
+...                      criterion="max(alpha=50)")
 >>> result.x.shape, result.factorization.lu_percentage >= 0.0
 ((96,), True)
+
+Serving many requests against the same matrix goes through a
+:class:`~repro.api.session.SolverSession`, which caches factorizations by
+matrix fingerprint so only the first request pays the O(n^3) cost:
+
+>>> session = repro.SolverSession(algorithm="hybrid", tile_size=8,
+...                               criterion="max(alpha=50)")
+>>> x1 = session.solve(a, b)                        # cache miss: factors
+>>> x2 = session.solve(a, rng.standard_normal(96))  # cache hit: back-subst.
+>>> (session.stats.misses, session.stats.hits)
+(1, 1)
 """
 
 from .baselines import HQRSolver, LUIncPivSolver, LUNoPivSolver, LUPPSolver
@@ -34,11 +50,43 @@ from .criteria import (
 )
 from .stability import hpl3, stability_report
 from .tiles import BlockCyclicDistribution, ProcessGrid, TileMatrix
+from .api import (
+    CacheStats,
+    SolverSession,
+    SolverSpec,
+    factor,
+    make_criterion,
+    make_executor,
+    make_solver,
+    make_tree,
+    matrix_fingerprint,
+    parse_spec,
+    register_criterion,
+    register_executor,
+    register_solver,
+    register_tree,
+    solve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "solve",
+    "factor",
+    "make_solver",
+    "make_criterion",
+    "make_tree",
+    "make_executor",
+    "parse_spec",
+    "SolverSpec",
+    "SolverSession",
+    "CacheStats",
+    "matrix_fingerprint",
+    "register_solver",
+    "register_criterion",
+    "register_tree",
+    "register_executor",
     "HybridLUQRSolver",
     "LUNoPivSolver",
     "LUIncPivSolver",

@@ -1,0 +1,78 @@
+"""Public API subsystem: plugin registries, declarative solver specs, the
+``repro.solve`` / ``repro.factor`` facades, and the ``SolverSession``
+serving layer.
+
+The registry module is imported eagerly (it is a stdlib-only leaf that the
+built-in criterion/tree/solver/executor modules import at class-definition
+time to self-register).  The facade and session modules import those
+built-ins back, so they are loaded lazily through module ``__getattr__`` —
+this keeps ``repro.api.registry`` importable from anywhere inside the
+package without a cycle.
+"""
+
+from .registry import (
+    CRITERIA,
+    EXECUTORS,
+    SOLVERS,
+    TREES,
+    Registry,
+    SpecError,
+    parse_spec,
+    register_criterion,
+    register_executor,
+    register_solver,
+    register_tree,
+)
+
+__all__ = [
+    "Registry",
+    "SpecError",
+    "parse_spec",
+    "SOLVERS",
+    "CRITERIA",
+    "TREES",
+    "EXECUTORS",
+    "register_solver",
+    "register_criterion",
+    "register_tree",
+    "register_executor",
+    "SolverSpec",
+    "make_solver",
+    "make_criterion",
+    "make_tree",
+    "make_executor",
+    "make_grid",
+    "solve",
+    "factor",
+    "SolverSession",
+    "CacheStats",
+    "matrix_fingerprint",
+]
+
+_FACADE_NAMES = {
+    "SolverSpec",
+    "make_solver",
+    "make_criterion",
+    "make_tree",
+    "make_executor",
+    "make_grid",
+    "solve",
+    "factor",
+}
+_SESSION_NAMES = {"SolverSession", "CacheStats", "matrix_fingerprint"}
+
+
+def __getattr__(name: str):
+    if name in _FACADE_NAMES:
+        from . import facade
+
+        return getattr(facade, name)
+    if name in _SESSION_NAMES:
+        from . import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _FACADE_NAMES | _SESSION_NAMES)

@@ -1,0 +1,327 @@
+"""``SolverSession`` — the serving layer of the public API.
+
+A session holds one configured solver and an LRU cache of factorizations
+keyed by matrix fingerprint, so repeated ``session.solve(a, b)`` requests
+against the same ``A`` skip the O(n^3) factorization and go straight to the
+O(n^2) back-substitution.  This amortizes factorizations *across requests*
+the same way the batched ``solve_many`` (one factorization, many trailing
+columns, Section II-D1 of the paper) amortizes them across right-hand
+sides.
+
+To serve right-hand sides that were unknown at factorization time, a cache
+miss factors ``[A | I]``: every transformation the elimination steps apply
+to the right-hand side is a linear row operation, so riding the identity
+along the factorization materializes the combined operator ``M`` with
+``M @ b`` equal to the transformed right-hand side for *any* ``b``.  A
+request is then one small matmul plus the tiled back-substitution.  The
+extra ``n`` trailing columns make the miss factorization costlier than a
+single direct solve, which is the explicit trade of a serving layer: the
+cost is paid once per matrix and every subsequent hit is cheap.
+
+Hit/miss/eviction statistics are exposed on ``session.stats`` so
+benchmarks (``benchmarks/test_bench_session_cache.py``) can measure the
+amortization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.factorization import Factorization, SolveResult
+from ..linalg.pivoting import SingularPanelError
+from ..linalg.triangular import tiled_back_substitution
+from ..stability.metrics import stability_report
+from .facade import make_solver
+
+__all__ = ["CacheStats", "SolverSession", "matrix_fingerprint"]
+
+
+def matrix_fingerprint(a: np.ndarray) -> str:
+    """Content fingerprint of a matrix (shape + dtype + SHA-256 of bytes)."""
+    a = np.ascontiguousarray(a)
+    digest = hashlib.sha256()
+    digest.update(str(a.shape).encode())
+    digest.update(str(a.dtype).encode())
+    digest.update(a.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters of the session's factorization cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    solves: int = 0
+    factor_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0.0 when empty)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            solves=self.solves,
+            factor_seconds=self.factor_seconds,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    """One cached factorization: the factors plus the RHS operator ``M``."""
+
+    factorization: Factorization
+    transform: np.ndarray  # (n + pad, n): transformed-rhs operator
+    n: int
+    pad: int
+    serves: int = field(default=0)
+
+
+class SolverSession:
+    """Serve many ``Ax = b`` requests from one solver and a factorization cache.
+
+    Parameters
+    ----------
+    solver:
+        A constructed solver, a :class:`~repro.api.facade.SolverSpec`, an
+        algorithm name, or ``None`` — anything that is not already a solver
+        is resolved through :func:`~repro.api.facade.make_solver` together
+        with ``**spec_kwargs``.
+    capacity:
+        Maximum number of cached factorizations (LRU eviction); ``None``
+        means unbounded.
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> rng = np.random.default_rng(0)
+    >>> a = rng.standard_normal((64, 64))
+    >>> session = repro.SolverSession(algorithm="hybrid", tile_size=8,
+    ...                               criterion="max(alpha=50)")
+    >>> x1 = session.solve(a, rng.standard_normal(64))   # factors [A | I]
+    >>> x2 = session.solve(a, rng.standard_normal(64))   # back-substitution only
+    >>> (session.stats.misses, session.stats.hits)
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        solver: Any = None,
+        *,
+        capacity: Optional[int] = 8,
+        **spec_kwargs: Any,
+    ) -> None:
+        if hasattr(solver, "factor") and hasattr(solver, "solve"):
+            if spec_kwargs:
+                raise ValueError(
+                    "cannot combine an already-constructed solver with "
+                    f"spec keyword arguments {sorted(spec_kwargs)}"
+                )
+            self.solver = solver
+        else:
+            self.solver = make_solver(solver, **spec_kwargs)
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Per-key locks serializing concurrent misses on the same matrix,
+        #: so one factorization is shared instead of raced.
+        self._inflight: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop every cached factorization and reset the statistics."""
+        with self._lock:
+            self._cache.clear()
+            self._inflight.clear()
+            self.stats = CacheStats()
+
+    def cached_factorization(self, a: np.ndarray) -> Optional[Factorization]:
+        """The cached factorization for ``A``, or ``None`` (no stats impact)."""
+        with self._lock:
+            entry = self._cache.get(matrix_fingerprint(np.asarray(a, dtype=np.float64)))
+        return entry.factorization if entry is not None else None
+
+    def _lookup_hit(self, key: str) -> Optional[_CacheEntry]:
+        """Return the cached entry and count a hit, or ``None`` (no count)."""
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self.stats.hits += 1
+        return entry
+
+    def _get_or_factor(self, a: np.ndarray, key: str) -> _CacheEntry:
+        """Cached entry for ``key``, factoring on a miss.
+
+        Concurrent misses on the same matrix serialize on a per-key lock,
+        so the factorization runs exactly once and the losers of the race
+        are counted as hits (they are served from the winner's entry).
+        Misses on *different* matrices still factor concurrently.
+        """
+        entry = self._lookup_hit(key)
+        if entry is not None:
+            return entry
+        with self._lock:
+            keylock = self._inflight.setdefault(key, threading.Lock())
+        with keylock:
+            entry = self._lookup_hit(key)
+            if entry is not None:
+                return entry
+            with self._lock:
+                self.stats.misses += 1
+            try:
+                return self._factor_entry(a, key)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+
+    def _insert(self, key: str, entry: _CacheEntry, factor_seconds: float) -> None:
+        with self._lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            self.stats.factor_seconds += factor_seconds
+            if self.capacity is not None:
+                while len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
+                    self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Factorization
+    # ------------------------------------------------------------------ #
+    def _factor_entry(self, a: np.ndarray, key: str) -> _CacheEntry:
+        """Cache miss: factor ``[A | I]`` and materialize the RHS operator."""
+        n = a.shape[0]
+        t0 = time.perf_counter()
+        fact = self.solver.factor(a, np.eye(n))
+        elapsed = time.perf_counter() - t0
+        if not fact.succeeded:
+            raise SingularPanelError(
+                f"{self.solver.algorithm} broke down during factorization: "
+                f"{fact.breakdown}"
+            )
+        entry = _CacheEntry(
+            factorization=fact,
+            transform=np.asarray(fact.tiles.rhs),
+            n=n,
+            pad=fact.padding,
+        )
+        self._insert(key, entry, elapsed)
+        return entry
+
+    def warm(self, a: np.ndarray) -> Factorization:
+        """Pre-factor ``A`` (counting a miss if absent) and return the factors."""
+        a = self._check_matrix(a)
+        return self._get_or_factor(a, matrix_fingerprint(a)).factorization
+
+    @staticmethod
+    def _check_matrix(a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"A must be square, got shape {a.shape}")
+        return a
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        x_true: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Solve ``Ax = b``, reusing the cached factorization of ``A``.
+
+        The first request for a given ``A`` factors ``[A | I]`` (a cache
+        miss); every further request applies the cached right-hand-side
+        operator and back-substitutes.  Shapes mirror
+        :meth:`TiledSolverBase.solve`: a 1-D ``b`` yields a 1-D solution.
+        """
+        a = self._check_matrix(a)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != a.shape[0]:
+            raise ValueError(f"b has {b.shape[0]} rows but A has order {a.shape[0]}")
+        entry = self._get_or_factor(a, matrix_fingerprint(a))
+
+        b2 = b.reshape(a.shape[0], -1)
+        x2 = self._back_substitute(entry, b2)
+        x = x2[:, 0] if b.ndim == 1 else x2
+        with self._lock:
+            entry.serves += 1
+            self.stats.solves += 1
+        report = stability_report(a, x, b, x_true=x_true)
+        return SolveResult(x=x, factorization=entry.factorization, stability=report)
+
+    def solve_many(
+        self,
+        a: np.ndarray,
+        bs: Union[np.ndarray, Sequence[np.ndarray]],
+        x_true: Optional[np.ndarray] = None,
+    ) -> List[SolveResult]:
+        """Batched variant: one cache lookup, one back-substitution pass."""
+        a = self._check_matrix(a)
+        if isinstance(bs, np.ndarray):
+            b_mat = np.asarray(bs, dtype=np.float64)
+            if b_mat.ndim == 1:
+                b_mat = b_mat.reshape(-1, 1)
+        else:
+            b_mat = np.column_stack(
+                [np.asarray(b, dtype=np.float64).reshape(-1) for b in bs]
+            )
+        if b_mat.shape[0] != a.shape[0]:
+            raise ValueError(
+                f"right-hand sides have {b_mat.shape[0]} rows but A has "
+                f"order {a.shape[0]}"
+            )
+        xt_mat: Optional[np.ndarray] = None
+        if x_true is not None:
+            xt_mat = np.asarray(x_true, dtype=np.float64)
+            if xt_mat.ndim == 1:
+                xt_mat = xt_mat.reshape(-1, 1)
+
+        entry = self._get_or_factor(a, matrix_fingerprint(a))
+        x = self._back_substitute(entry, b_mat)
+        fact = entry.factorization
+        with self._lock:
+            entry.serves += 1
+            self.stats.solves += 1
+        out: List[SolveResult] = []
+        for j in range(b_mat.shape[1]):
+            report = stability_report(
+                a,
+                x[:, j],
+                b_mat[:, j],
+                x_true=None if xt_mat is None else xt_mat[:, j],
+            )
+            out.append(SolveResult(x=x[:, j], factorization=fact, stability=report))
+        return out
+
+    def _back_substitute(self, entry: _CacheEntry, b2: np.ndarray) -> np.ndarray:
+        """Apply the cached RHS operator to ``b`` and back-substitute."""
+        tiles = entry.factorization.tiles
+        transformed = entry.transform @ b2  # (n + pad, nrhs)
+        x_padded = tiled_back_substitution(tiles.array, transformed, tiles.nb)
+        return x_padded[: entry.n, :]

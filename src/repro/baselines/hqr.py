@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..api.registry import register_solver
 from ..core.factorization import StepRecord
 from ..core.qr_step import qr_step_tasks
 from ..core.solver_base import Executor, TiledSolverBase
@@ -26,6 +27,7 @@ from ..trees.hierarchical import HierarchicalTree
 __all__ = ["HQRSolver"]
 
 
+@register_solver("hqr")
 class HQRSolver(TiledSolverBase):
     """Hierarchical tiled QR solver (always stable, twice the flops of LU).
 

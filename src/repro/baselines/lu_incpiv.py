@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..api.registry import register_solver
 from ..core.factorization import StepRecord
 from ..core.solver_base import Executor, TiledSolverBase
 from ..kernels.lu_kernels import LUPanelFactor, apply_swptrsm, factor_panel_lu, factor_tile_lu
@@ -30,6 +31,7 @@ from ..tiles.tile_matrix import TileMatrix
 __all__ = ["LUIncPivSolver"]
 
 
+@register_solver("lu_incpiv", aliases=("incpiv", "luincpiv"))
 class LUIncPivSolver(TiledSolverBase):
     """Tiled LU with incremental pairwise pivoting."""
 

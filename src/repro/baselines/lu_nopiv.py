@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..api.registry import register_solver
 from ..core.factorization import StepRecord
 from ..core.lu_step import lu_step_tasks
 from ..core.panel_analysis import analyze_panel
@@ -24,6 +25,7 @@ from ..tiles.tile_matrix import TileMatrix
 __all__ = ["LUNoPivSolver"]
 
 
+@register_solver("lu_nopiv", aliases=("nopiv", "lunopiv"))
 class LUNoPivSolver(TiledSolverBase):
     """Tiled LU without inter-tile pivoting (fast, conditionally stable).
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..api.registry import register_solver
 from ..core.factorization import StepRecord
 from ..core.lu_step import lu_step_tasks
 from ..core.panel_analysis import analyze_panel
@@ -27,6 +28,7 @@ from ..tiles.tile_matrix import TileMatrix
 __all__ = ["LUPPSolver"]
 
 
+@register_solver("lupp")
 class LUPPSolver(TiledSolverBase):
     """Tiled LU with partial pivoting over the entire elimination panel."""
 

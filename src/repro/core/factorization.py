@@ -96,6 +96,9 @@ class Factorization:
     alpha: Optional[float] = None
     growth: Optional[GrowthTracker] = None
     breakdown: Optional[str] = None
+    #: Rows/columns appended by :func:`~repro.core.solver_base.pad_to_tile_multiple`
+    #: to make the order a tile multiple (0 when none were needed).
+    padding: int = 0
 
     # ------------------------------------------------------------------ #
     # Step statistics (the "% of LU steps" columns of the paper)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..api.registry import register_solver
 from ..criteria.base import RobustnessCriterion
 from ..criteria.max_criterion import MaxCriterion
 from ..runtime.schedule import KernelTask
@@ -42,6 +43,7 @@ from .solver_base import Executor, TiledSolverBase
 __all__ = ["HybridLUQRSolver"]
 
 
+@register_solver("hybrid", aliases=("luqr", "lu-qr"))
 class HybridLUQRSolver(TiledSolverBase):
     """Dense solver that dynamically mixes LU and QR elimination steps.
 

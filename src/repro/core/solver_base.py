@@ -33,6 +33,7 @@ from ..linalg.pivoting import SingularPanelError
 from ..runtime.executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
 from ..runtime.schedule import KernelTask, run_step_tasks, written_tiles
 from ..stability.growth import GrowthTracker
+from ..stability.metrics import stability_report
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from ..tiles.tile_matrix import TileMatrix
 from .factorization import Factorization, SolveResult, StepRecord
@@ -202,7 +203,7 @@ class TiledSolverBase(ABC):
 
         self._norm_cache = None
         self._last_written = None
-        fact = Factorization(
+        return Factorization(
             tiles=tiles,
             steps=steps,
             algorithm=self.algorithm,
@@ -210,9 +211,8 @@ class TiledSolverBase(ABC):
             alpha=self._alpha(),
             growth=growth,
             breakdown=breakdown,
+            padding=pad,
         )
-        fact.padding = pad  # type: ignore[attr-defined]
-        return fact
 
     def _factor_and_back_substitute(
         self, a: np.ndarray, b: np.ndarray
@@ -241,11 +241,8 @@ class TiledSolverBase(ABC):
         # The solution keeps the shape of b: a 2-D single-column b yields a
         # (n, 1) solution so the residual a @ x - b never broadcasts.
         x = x2[:, 0] if b.ndim == 1 else x2
-        from .factorization import SolveResult as _SR  # local import to avoid cycle confusion
-        from ..stability.metrics import stability_report
-
         report = stability_report(a, x, b, x_true=x_true)
-        return _SR(x=x, factorization=fact, stability=report)
+        return SolveResult(x=x, factorization=fact, stability=report)
 
     def solve_many(
         self,
@@ -300,8 +297,6 @@ class TiledSolverBase(ABC):
                 )
 
         fact, x = self._factor_and_back_substitute(a, b_mat)
-
-        from ..stability.metrics import stability_report
 
         results: List[SolveResult] = []
         for j in range(b_mat.shape[1]):

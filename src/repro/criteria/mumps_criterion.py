@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from ..api.registry import register_criterion
 from .base import CriterionDecision, PanelInfo, RobustnessCriterion
 
 __all__ = ["MumpsCriterion", "mumps_estimate_max"]
@@ -62,6 +63,7 @@ def mumps_estimate_max(
     return estimate
 
 
+@register_criterion("mumps")
 class MumpsCriterion(RobustnessCriterion):
     """LU step iff ``alpha * pivot(j) >= estimate_max(j)`` for every column ``j``.
 

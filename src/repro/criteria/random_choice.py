@@ -14,11 +14,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..api.registry import register_criterion
 from .base import CriterionDecision, PanelInfo, RobustnessCriterion
 
 __all__ = ["RandomCriterion", "AlwaysLU", "AlwaysQR"]
 
 
+@register_criterion("random")
 class RandomCriterion(RobustnessCriterion):
     """Choose an LU step with fixed probability, independently at each step.
 
@@ -59,6 +61,7 @@ class RandomCriterion(RobustnessCriterion):
         return f"RandomCriterion(lu_probability={self.lu_probability}, seed={self.seed})"
 
 
+@register_criterion("always_lu", aliases=("always-lu", "lu"))
 class AlwaysLU(RobustnessCriterion):
     """Accept an LU step at every panel (``alpha = inf``)."""
 
@@ -68,6 +71,7 @@ class AlwaysLU(RobustnessCriterion):
         return CriterionDecision(True, detail="always LU")
 
 
+@register_criterion("always_qr", aliases=("always-qr", "qr"))
 class AlwaysQR(RobustnessCriterion):
     """Force a QR step at every panel (``alpha = 0``)."""
 

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import math
 
+from ..api.registry import register_criterion
 from ..stability.growth import sum_criterion_growth_bound
 from .base import CriterionDecision, PanelInfo, RobustnessCriterion
 
 __all__ = ["SumCriterion"]
 
 
+@register_criterion("sum")
 class SumCriterion(RobustnessCriterion):
     """LU step iff ``alpha * ||(A_kk)^{-1}||_1^{-1} >= sum_{i>k} ||A_ik||_1``.
 

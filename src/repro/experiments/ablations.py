@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..baselines import HQRSolver, LUNoPivSolver
+from ..baselines import LUNoPivSolver
 from ..core.dag_builder import FactorizationSpec
 from ..matrices.random_gen import random_matrix, random_rhs
 from ..perf.model import PerformanceModel

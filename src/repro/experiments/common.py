@@ -14,13 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..baselines import HQRSolver, LUIncPivSolver, LUNoPivSolver, LUPPSolver
+from ..api.facade import make_criterion, make_solver
 from ..core.dag_builder import FactorizationSpec
 from ..core.factorization import Factorization
 from ..core.hybrid import HybridLUQRSolver
-from ..criteria import MaxCriterion, MumpsCriterion, RandomCriterion, SumCriterion
 from ..perf.model import PerformanceModel, PerformanceReport
 from ..runtime.platform import Platform, dancer_platform
 from ..tiles.distribution import ProcessGrid
@@ -86,35 +83,35 @@ def make_hybrid(
     ``criterion_name`` is one of ``"max"``, ``"sum"``, ``"mumps"``,
     ``"random"``.  For the random policy, ``alpha`` is interpreted as the
     probability of an LU step (the paper sweeps an equivalent knob).
+
+    Resolution goes through the public plugin registries
+    (:mod:`repro.api`): an unregistered criterion name raises a
+    :class:`ValueError` listing the available options.
     """
     name = criterion_name.lower()
-    if name == "max":
-        criterion = MaxCriterion(alpha=alpha)
-    elif name == "sum":
-        criterion = SumCriterion(alpha=alpha)
-    elif name == "mumps":
-        criterion = MumpsCriterion(alpha=alpha)
-    elif name == "random":
-        criterion = RandomCriterion(lu_probability=alpha, seed=seed)
+    if name == "random":
+        criterion = make_criterion("random", lu_probability=alpha, seed=seed)
     else:
-        raise ValueError(f"unknown criterion {criterion_name!r}")
-    return HybridLUQRSolver(
-        tile_size=config.tile_size, criterion=criterion, grid=config.grid
+        criterion = make_criterion(name, alpha=alpha)
+    return make_solver(
+        algorithm="hybrid",
+        tile_size=config.tile_size,
+        criterion=criterion,
+        grid=config.grid,
     )
 
 
 def make_baseline(name: str, config: ExperimentConfig):
-    """Build one of the baseline solvers by name."""
-    key = name.lower().replace(" ", "")
-    if key in ("lunopiv", "nopiv"):
-        return LUNoPivSolver(tile_size=config.tile_size, grid=config.grid)
-    if key in ("luincpiv", "incpiv"):
-        return LUIncPivSolver(tile_size=config.tile_size, grid=config.grid)
-    if key == "lupp":
-        return LUPPSolver(tile_size=config.tile_size, grid=config.grid)
-    if key == "hqr":
-        return HQRSolver(tile_size=config.tile_size, grid=config.grid)
-    raise ValueError(f"unknown baseline {name!r}")
+    """Build one of the baseline solvers by registry name.
+
+    Accepts the paper's table spellings (``"LU NoPiv"``, ``"LU IncPiv"``,
+    ``"LUPP"``, ``"HQR"``) as well as the registry names/aliases.
+    """
+    return make_solver(
+        algorithm=name.lower().replace(" ", "").replace("-", "_"),
+        tile_size=config.tile_size,
+        grid=config.grid,
+    )
 
 
 # --------------------------------------------------------------------------- #

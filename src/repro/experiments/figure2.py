@@ -26,7 +26,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..matrices.random_gen import random_matrix, random_rhs
-from ..stability.metrics import hpl3
 from .common import ExperimentConfig, format_table, make_baseline, make_hybrid, simulate_at_paper_scale
 
 __all__ = ["ALPHA_SWEEPS", "figure2_rows", "main"]

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from ..core.dag_builder import FactorizationSpec
 from ..matrices.random_gen import random_matrix, random_rhs
 from ..perf.model import PerformanceModel

@@ -17,8 +17,6 @@ The kernels below operate on plain numpy arrays (tiles); the step driver in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from ..linalg.pivoting import apply_row_pivots, getrf, recursive_getrf

@@ -15,7 +15,7 @@ and the Hager estimator.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable
 
 import numpy as np
 import scipy.linalg as sla
@@ -87,7 +87,7 @@ def inverse_norm1_estimate(lu: np.ndarray, piv: np.ndarray) -> float:
     the paper quotes for criterion evaluation (Section III-D).
     """
     n = lu.shape[0]
-    l = np.tril(lu[:n, :n], k=-1) + np.eye(n)
+    lo = np.tril(lu[:n, :n], k=-1) + np.eye(n)
     u = np.triu(lu[:n, :n])
 
     def perm_apply(x: np.ndarray) -> np.ndarray:
@@ -109,13 +109,13 @@ def inverse_norm1_estimate(lu: np.ndarray, piv: np.ndarray) -> float:
     def solve(x: np.ndarray) -> np.ndarray:
         # A^{-1} x = U^{-1} L^{-1} P x
         y = perm_apply(x)
-        y = sla.solve_triangular(l, y, lower=True, unit_diagonal=True)
+        y = sla.solve_triangular(lo, y, lower=True, unit_diagonal=True)
         return sla.solve_triangular(u, y, lower=False)
 
     def solve_t(x: np.ndarray) -> np.ndarray:
         # A^{-T} x = P^T L^{-T} U^{-T} x
         y = sla.solve_triangular(u.T, x, lower=True)
-        y = sla.solve_triangular(l.T, y, lower=False, unit_diagonal=True)
+        y = sla.solve_triangular(lo.T, y, lower=False, unit_diagonal=True)
         return perm_apply_t(y)
 
     return hager_norm1_estimate(solve, solve_t, n)

@@ -11,7 +11,7 @@ Figure 3 harness (and user code) can iterate over the whole collection:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..api.registry import register_executor
 from .graph import TaskGraph
 
 __all__ = ["ExecutionTrace", "SequentialExecutor", "ThreadedExecutor"]
@@ -81,6 +82,7 @@ class ExecutionTrace:
         return max(profile) if profile else 0
 
 
+@register_executor("sequential", aliases=("seq",))
 class SequentialExecutor:
     """Run every task of the graph in topological (submission) order.
 
@@ -112,6 +114,7 @@ class SequentialExecutor:
         return trace
 
 
+@register_executor("threaded", aliases=("threads", "threadpool"))
 class ThreadedExecutor:
     """Dataflow execution on a thread pool (one node of a PaRSEC-like runtime).
 

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..api.registry import register_tree
 from .base import Elimination, ReductionTree
 
 __all__ = ["BinaryTree"]
 
 
+@register_tree("binary")
 class BinaryTree(ReductionTree):
     """Pairwise TT reduction.
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..api.registry import register_tree
 from .base import Elimination, ReductionTree
 
 __all__ = ["FibonacciTree", "fibonacci_batches"]
@@ -27,6 +28,7 @@ def fibonacci_batches(count: int) -> List[int]:
     return sizes
 
 
+@register_tree("fibonacci")
 class FibonacciTree(ReductionTree):
     """Fibonacci-batched reduction, used by the paper *between* nodes.
 

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..api.registry import register_tree
 from .base import Elimination, ReductionTree
 
 __all__ = ["FlatTree"]
 
 
+@register_tree("flat")
 class FlatTree(ReductionTree):
     """The diagonal row eliminates every other row, one after the other.
 

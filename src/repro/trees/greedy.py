@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..api.registry import register_tree
 from .base import Elimination, ReductionTree
 
 __all__ = ["GreedyTree"]
 
 
+@register_tree("greedy")
 class GreedyTree(ReductionTree):
     """Kill as many tiles as possible at every round.
 

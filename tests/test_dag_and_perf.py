@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import HQRSolver, HybridLUQRSolver, LUNoPivSolver, MaxCriterion, ProcessGrid
+from repro import HybridLUQRSolver, MaxCriterion, ProcessGrid
 from repro.core.dag_builder import (
     FactorizationSpec,
     build_task_graph,

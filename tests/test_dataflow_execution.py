@@ -26,7 +26,6 @@ from repro.core.factorization import StepRecord
 from repro.core.qr_step import qr_step_tasks
 from repro.runtime import (
     KernelTask,
-    TaskGraph,
     build_step_graph,
     merge_traces,
     run_step_tasks,

@@ -23,14 +23,14 @@ from repro.linalg import (
 def reconstruct_from_lu(lu, piv):
     """Rebuild the original matrix from packed LU factors and pivots."""
     m, k = lu.shape
-    l = np.tril(lu[:, :k], -1)
-    l[np.arange(k), np.arange(k)] = 1.0
+    lo = np.tril(lu[:, :k], -1)
+    lo[np.arange(k), np.arange(k)] = 1.0
     if m > k:
         lfull = np.zeros((m, k))
         lfull[:, :] = np.tril(lu, -1)[:, :k]
         lfull[np.arange(k), np.arange(k)] = 1.0
     else:
-        lfull = l
+        lfull = lo
     u = np.triu(lu[:k, :k])
     pa = lfull @ u
     # Undo the pivoting: apply the swaps in reverse.
@@ -79,9 +79,9 @@ class TestGetrfNoPiv:
     def test_reconstruction(self, rng):
         a = rng.standard_normal((8, 8)) + 8.0 * np.eye(8)
         lu = getrf_nopiv(a)
-        l = np.tril(lu, -1) + np.eye(8)
+        lo = np.tril(lu, -1) + np.eye(8)
         u = np.triu(lu)
-        np.testing.assert_allclose(l @ u, a, atol=1e-10)
+        np.testing.assert_allclose(lo @ u, a, atol=1e-10)
 
     def test_zero_diagonal_raises(self):
         a = np.array([[0.0, 1.0], [1.0, 1.0]])
@@ -141,10 +141,10 @@ class TestTriangularSolves:
         np.testing.assert_allclose(x @ u, b, atol=1e-10)
 
     def test_trsm_lower_left_unit(self, rng):
-        l = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
+        lo = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
         b = rng.standard_normal((5, 3))
-        x = trsm_lower_left_unit(l, b)
-        np.testing.assert_allclose(l @ x, b, atol=1e-10)
+        x = trsm_lower_left_unit(lo, b)
+        np.testing.assert_allclose(lo @ x, b, atol=1e-10)
 
     def test_trsm_upper_left(self, rng):
         u = np.triu(rng.standard_normal((5, 5))) + 5.0 * np.eye(5)

@@ -1,0 +1,198 @@
+"""Tests for the ``SolverSession`` serving layer."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.session import matrix_fingerprint
+from repro.linalg.pivoting import SingularPanelError
+
+
+@pytest.fixture
+def session():
+    return repro.SolverSession(
+        algorithm="hybrid", tile_size=8, criterion="max(alpha=50)"
+    )
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self, rng):
+        a = rng.standard_normal((16, 16))
+        assert matrix_fingerprint(a) == matrix_fingerprint(a.copy())
+
+    def test_different_content_different_fingerprint(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = a.copy()
+        b[3, 4] += 1e-12
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_non_contiguous_matches_contiguous(self, rng):
+        a = rng.standard_normal((16, 16))
+        assert matrix_fingerprint(a.T.copy().T) == matrix_fingerprint(a)
+
+
+class TestSessionCache:
+    def test_same_matrix_factors_exactly_once(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        x1 = rng.standard_normal(n)
+        x2 = rng.standard_normal(n)
+
+        r1 = session.solve(a, a @ x1, x_true=x1)
+        r2 = session.solve(a, a @ x2, x_true=x2)
+
+        assert session.stats.misses == 1
+        assert session.stats.hits == 1
+        assert session.stats.solves == 2
+        # both requests share the one factorization object
+        assert r1.factorization is r2.factorization
+        # and both pass the existing stability checks
+        for r in (r1, r2):
+            assert r.hpl3 < 50
+            assert r.stability.forward_error < 1e-8
+
+    def test_hit_matches_direct_solve(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        b = rng.standard_normal(n)
+        session.solve(a, rng.standard_normal(n))  # warm the cache
+        served = session.solve(a, b)
+        direct = repro.solve(a, b, algorithm="hybrid", tile_size=8,
+                             criterion="max(alpha=50)")
+        np.testing.assert_allclose(served.x, direct.x, rtol=0, atol=1e-10)
+
+    def test_solution_shapes_mirror_solver(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        assert session.solve(a, rng.standard_normal(n)).x.shape == (n,)
+        assert session.solve(a, rng.standard_normal((n, 3))).x.shape == (n, 3)
+        assert session.stats.misses == 1
+
+    def test_padded_order_served_correctly(self, rng):
+        n = 13
+        session = repro.SolverSession(algorithm="hybrid", tile_size=4,
+                                      criterion="max(alpha=10)")
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        r = session.solve(a, a @ x_true, x_true=x_true)
+        assert r.x.shape == (n,)
+        np.testing.assert_allclose(r.x, x_true, atol=1e-8)
+        assert r.factorization.padding == 3
+        # hits on the padded matrix work too
+        r2 = session.solve(a, a @ x_true)
+        assert session.stats.hits == 1
+        np.testing.assert_allclose(r2.x, x_true, atol=1e-8)
+
+    def test_lru_eviction(self, rng):
+        session = repro.SolverSession(
+            algorithm="lupp", tile_size=8, capacity=1
+        )
+        n = 16
+        a1 = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        a2 = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        b = rng.standard_normal(n)
+        session.solve(a1, b)          # miss, cached
+        session.solve(a2, b)          # miss, evicts a1
+        session.solve(a1, b)          # miss again
+        assert session.stats.misses == 3
+        assert session.stats.hits == 0
+        assert session.stats.evictions == 2
+        assert len(session) == 1
+
+    def test_clear_resets_cache_and_stats(self, rng, session):
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        session.solve(a, rng.standard_normal(n))
+        session.clear()
+        assert len(session) == 0
+        assert session.stats.requests == 0
+        session.solve(a, rng.standard_normal(n))
+        assert session.stats.misses == 1
+
+    def test_warm_prefactors(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        fact = session.warm(a)
+        assert fact.succeeded
+        assert session.stats.misses == 1
+        session.solve(a, rng.standard_normal(n))
+        assert session.stats.hits == 1
+        assert session.cached_factorization(a) is fact
+        assert session.cached_factorization(np.eye(n)) is None
+
+    def test_solve_many_serves_from_cache(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        xs = rng.standard_normal((n, 4))
+        results = session.solve_many(a, a @ xs, x_true=xs)
+        assert len(results) == 4
+        assert session.stats.misses == 1
+        for j, r in enumerate(results):
+            np.testing.assert_allclose(r.x, xs[:, j], atol=1e-8)
+            assert r.hpl3 < 50
+
+    def test_breakdown_raises_and_is_not_cached(self):
+        # A singular matrix breaks the factorization down.
+        session = repro.SolverSession(algorithm="lu_nopiv", tile_size=2)
+        a = np.zeros((8, 8))
+        with pytest.raises(SingularPanelError):
+            session.solve(a, np.ones(8))
+        assert len(session) == 0
+
+    def test_concurrent_misses_factor_exactly_once(self, rng, session):
+        import threading
+
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        bs = [rng.standard_normal(n) for _ in range(4)]
+        results = []
+
+        def worker(b):
+            results.append(session.solve(a, b))
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in bs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(results) == 4
+        assert session.stats.misses == 1
+        assert session.stats.hits == 3
+        fact = results[0].factorization
+        assert all(r.factorization is fact for r in results)
+
+    def test_hit_rate(self, rng, session):
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        assert session.stats.hit_rate == 0.0
+        session.solve(a, rng.standard_normal(n))
+        session.solve(a, rng.standard_normal(n))
+        session.solve(a, rng.standard_normal(n))
+        assert session.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestSessionConstruction:
+    def test_accepts_prebuilt_solver(self, rng):
+        solver = repro.HybridLUQRSolver(tile_size=8)
+        session = repro.SolverSession(solver)
+        assert session.solver is solver
+
+    def test_rejects_spec_kwargs_with_prebuilt_solver(self):
+        solver = repro.HybridLUQRSolver(tile_size=8)
+        with pytest.raises(ValueError):
+            repro.SolverSession(solver, tile_size=16)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            repro.SolverSession(algorithm="lupp", tile_size=8, capacity=0)
+
+    def test_unbounded_capacity(self, rng):
+        session = repro.SolverSession(algorithm="lupp", tile_size=8,
+                                      capacity=None)
+        n = 16
+        for _ in range(3):
+            a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+            session.solve(a, rng.standard_normal(n))
+        assert len(session) == 3
+        assert session.stats.evictions == 0

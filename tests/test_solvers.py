@@ -22,7 +22,6 @@ from repro import (
 from repro.linalg import SingularPanelError
 from repro.matrices.random_gen import (
     block_diagonally_dominant,
-    diagonally_dominant,
     near_singular_leading_tile,
     random_matrix,
 )
