@@ -1,0 +1,120 @@
+"""Benchmark: sequential vs threaded vs multi-process execution backends.
+
+The multi-process backend exists to scale past the GIL: the threaded
+executor only overlaps while numpy is inside BLAS, so pivot searches,
+small triangular solves and all pure-Python task bookkeeping still
+serialize on one interpreter, while ``ProcessExecutor`` gives every worker
+its own interpreter against tiles in shared memory.
+
+What to expect from the numbers depends on the machine:
+
+* On a **single-core container** (the default CI/dev box for this repo)
+  neither parallel backend can win — there is nothing to overlap on, and
+  both pay their dispatch overhead (lock handoffs for threads; descriptor
+  pickling and IPC for processes).  The comparison report prints the CPU
+  count next to the timings so the verdict is interpretable.
+* On a **multi-core node with a saturating multi-threaded BLAS**, the
+  threaded backend is already near peak for large tiles (the GEMMs release
+  the GIL), and processes mainly help the GIL-bound fraction.
+* The process backend's win case is **many small tiles**, where per-kernel
+  Python overhead (not BLAS) dominates the step — exactly the regime the
+  ``processes`` rows below measure.
+
+All three backends are asserted bit-identical before any timing is
+reported, so the benchmark doubles as a correctness gate at bench scale.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import HybridLUQRSolver, MaxCriterion, ProcessExecutor, ThreadedExecutor
+from repro.matrices.random_gen import random_matrix, random_rhs
+from repro.runtime import merge_traces
+
+WORKERS = 4
+
+
+def _make_solver(nb, mode):
+    executor = None
+    if mode == "threaded":
+        executor = ThreadedExecutor(workers=WORKERS)
+    elif mode == "processes":
+        executor = ProcessExecutor(workers=WORKERS)
+    return HybridLUQRSolver(
+        nb, MaxCriterion(alpha=10.0), track_growth=False, executor=executor
+    )
+
+
+@pytest.mark.benchmark(group="executor-backends")
+@pytest.mark.parametrize("mode", ["sequential", "threaded", "processes"])
+def test_factorization_backend(benchmark, bench_config, mode):
+    n = bench_config.n_order
+    nb = bench_config.tile_size
+    a = random_matrix(n, seed=1)
+    b = random_rhs(n, seed=2)
+    solver = _make_solver(nb, mode)
+    if mode == "processes":
+        solver.factor(a, b)  # warm the worker pool outside the timing
+
+    fact = benchmark.pedantic(lambda: solver.factor(a, b), rounds=2, iterations=1)
+    assert fact.succeeded
+    if mode != "sequential":
+        merged = merge_traces(solver.step_traces)
+        print(f"\n{mode}: {merged.n_tasks} tasks on {WORKERS} workers")
+
+
+def test_backend_comparison_report(bench_config):
+    """Times the three backends head-to-head and records the verdict.
+
+    Not a pytest-benchmark timing (one run each): the point is the
+    recorded comparison plus the bit-identity assertion, with the CPU
+    count printed so a "processes slower than threaded" outcome on a
+    single-core container is self-explanatory.
+    """
+    n = bench_config.n_order
+    nb = bench_config.tile_size
+    a = random_matrix(n, seed=1)
+    b = random_rhs(n, seed=2)
+
+    timings = {}
+    facts = {}
+    for mode in ("sequential", "threaded", "processes"):
+        solver = _make_solver(nb, mode)
+        if mode == "processes":
+            solver.factor(a, b)  # pool warm-up
+        t0 = time.perf_counter()
+        facts[mode] = solver.factor(a, b)
+        timings[mode] = time.perf_counter() - t0
+
+    # Correctness first: all three backends must agree bit for bit.
+    for mode in ("threaded", "processes"):
+        np.testing.assert_array_equal(
+            facts[mode].tiles.array, facts["sequential"].tiles.array
+        )
+        np.testing.assert_array_equal(
+            facts[mode].tiles.rhs, facts["sequential"].tiles.rhs
+        )
+
+    cpus = os.cpu_count() or 1
+    print(f"\nN={n}, nb={nb}, {cpus} CPU(s), {WORKERS} workers:")
+    for mode, seconds in timings.items():
+        print(f"  {mode:>10}: {seconds * 1e3:8.1f} ms")
+    if timings["processes"] < timings["threaded"]:
+        print("  verdict: processes beat threaded (GIL-bound fraction reclaimed)")
+    elif cpus <= 1:
+        print(
+            "  verdict: single-core machine — nothing to overlap on, so both "
+            "parallel backends only add dispatch overhead; rerun on a "
+            "multi-core node for the GIL-scaling comparison"
+        )
+    else:
+        print(
+            "  verdict: threaded wins here — BLAS releases the GIL and "
+            "saturates the cores at this tile size, so process dispatch "
+            "(descriptor pickling + IPC) costs more than the GIL-bound "
+            "fraction it reclaims; shrink nb (more, smaller tiles) to see "
+            "the processes backend pull ahead"
+        )

@@ -39,7 +39,7 @@ matrix fingerprint so only the first request pays the O(n^3) cost:
 
 from .baselines import HQRSolver, LUIncPivSolver, LUNoPivSolver, LUPPSolver
 from .core import Factorization, HybridLUQRSolver, SolveResult, StepRecord
-from .runtime import SequentialExecutor, ThreadedExecutor
+from .runtime import ProcessExecutor, SequentialExecutor, ThreadedExecutor
 from .criteria import (
     AlwaysLU,
     AlwaysQR,
@@ -108,4 +108,5 @@ __all__ = [
     "stability_report",
     "SequentialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
 ]

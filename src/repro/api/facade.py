@@ -23,6 +23,7 @@ the solver by hand with the same configuration.
 from __future__ import annotations
 
 import inspect
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
@@ -47,6 +48,11 @@ DEFAULT_TILE_SIZE = 32
 
 #: Executor specs that mean "run kernels inline, no dataflow executor".
 _INLINE_EXECUTORS = {"none", "inline", "off"}
+
+#: Environment variable supplying the default executor spec for solvers
+#: built without an explicit executor (``REPRO_EXECUTOR=processes`` runs
+#: the whole suite on the multi-process backend, as the CI matrix does).
+_EXECUTOR_ENV = "REPRO_EXECUTOR"
 
 
 @dataclass
@@ -92,15 +98,20 @@ def make_tree(spec: Any) -> Any:
     return TREES.create(spec)
 
 
+def _is_inline_executor_spec(spec: Any) -> bool:
+    """True when a spec means "no executor" (``None``, ``"none"``, ...)."""
+    return spec is None or (
+        isinstance(spec, str) and spec.strip().lower() in _INLINE_EXECUTORS
+    )
+
+
 def make_executor(spec: Any) -> Any:
     """Resolve an executor spec (``"threaded(workers=4)"``) or pass through.
 
     ``None`` and the strings ``"none"`` / ``"inline"`` / ``"off"`` resolve
     to ``None`` — the sequential in-program-order kernel path.
     """
-    if spec is None:
-        return None
-    if isinstance(spec, str) and spec.strip().lower() in _INLINE_EXECUTORS:
+    if _is_inline_executor_spec(spec):
         return None
     return EXECUTORS.create(spec)
 
@@ -186,6 +197,17 @@ def make_solver(spec: Any = None, **kwargs: Any):
         solver_cls = algorithm
     algo_label = getattr(solver_cls, "algorithm", solver_cls.__name__)
 
+    # An executor left unspecified falls back to the REPRO_EXECUTOR
+    # environment variable (the seam the CI matrix uses to exercise the
+    # multi-process backend under the whole suite); an env-supplied spec is
+    # silently dropped for solvers that do not take an executor, whereas an
+    # explicitly configured one still raises below.
+    executor_spec = spec.executor
+    if executor_spec is None:
+        env_spec = os.environ.get(_EXECUTOR_ENV, "").strip()
+        if env_spec:
+            executor_spec = env_spec
+
     params = inspect.signature(solver_cls.__init__).parameters
     build_kwargs: Dict[str, Any] = {}
     # Base arguments every built-in accepts; a user-registered solver with
@@ -195,7 +217,6 @@ def make_solver(spec: Any = None, **kwargs: Any):
         ("tile_size", int(spec.tile_size), int(spec.tile_size)),
         ("grid", make_grid(spec.grid), None),
         ("track_growth", bool(spec.track_growth), True),
-        ("executor", make_executor(spec.executor), None),
     ):
         if key in params:
             build_kwargs[key] = value
@@ -203,6 +224,14 @@ def make_solver(spec: Any = None, **kwargs: Any):
             raise ValueError(
                 f"algorithm {algo_label!r} does not accept {key!r}"
             )
+    if "executor" in params:
+        build_kwargs["executor"] = make_executor(executor_spec)
+    elif not _is_inline_executor_spec(spec.executor):
+        # Explicitly configured (not env-supplied) executor on a solver
+        # that takes none; checked without constructing a throwaway one.
+        raise ValueError(
+            f"algorithm {algo_label!r} does not accept 'executor'"
+        )
     for key, value in (
         ("criterion", make_criterion(spec.criterion) if spec.criterion is not None else None),
         ("intra_tree", make_tree(spec.intra_tree) if spec.intra_tree is not None else None),

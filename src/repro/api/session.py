@@ -142,9 +142,17 @@ class SolverSession:
         self.stats = CacheStats()
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
-        #: Per-key locks serializing concurrent misses on the same matrix,
-        #: so one factorization is shared instead of raced.
-        self._inflight: Dict[str, threading.Lock] = {}
+        #: Per-key ``[lock, waiters]`` pairs serializing concurrent misses
+        #: on the same matrix, so one factorization is shared instead of
+        #: raced.  The refcount keeps the lock alive until the *last*
+        #: in-flight miss finishes: if the winner dropped it eagerly, a
+        #: request arriving after a clear() could mint a fresh lock while a
+        #: queued waiter still factors, racing the same matrix twice.
+        self._inflight: Dict[str, list] = {}
+        #: Bumped by :meth:`clear` so an in-flight factorization that
+        #: started before the clear cannot resurrect itself into the
+        #: freshly cleared cache (or pollute the reset statistics).
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
@@ -153,11 +161,19 @@ class SolverSession:
         return len(self._cache)
 
     def clear(self) -> None:
-        """Drop every cached factorization and reset the statistics."""
+        """Drop every cached factorization and reset the statistics.
+
+        Safe against in-flight misses: the per-key locks in ``_inflight``
+        are deliberately *not* dropped (a concurrent request must keep
+        serializing on the same lock as the factorization already running,
+        or the same matrix would factor twice in parallel), and bumping the
+        generation counter prevents the in-flight winner from re-inserting
+        its pre-clear entry into the freshly cleared cache.
+        """
         with self._lock:
             self._cache.clear()
-            self._inflight.clear()
             self.stats = CacheStats()
+            self._generation += 1
 
     def cached_factorization(self, a: np.ndarray) -> Optional[Factorization]:
         """The cached factorization for ``A``, or ``None`` (no stats impact)."""
@@ -180,27 +196,40 @@ class SolverSession:
         Concurrent misses on the same matrix serialize on a per-key lock,
         so the factorization runs exactly once and the losers of the race
         are counted as hits (they are served from the winner's entry).
-        Misses on *different* matrices still factor concurrently.
+        Misses on *different* matrices do not block each other here, but
+        they serialize inside the shared solver instance (whose ``factor``
+        carries per-factorization state); cache hits never wait on either.
         """
         entry = self._lookup_hit(key)
         if entry is not None:
             return entry
         with self._lock:
-            keylock = self._inflight.setdefault(key, threading.Lock())
-        with keylock:
-            entry = self._lookup_hit(key)
-            if entry is not None:
-                return entry
-            with self._lock:
-                self.stats.misses += 1
-            try:
-                return self._factor_entry(a, key)
-            finally:
+            slot = self._inflight.setdefault(key, [threading.Lock(), 0])
+            slot[1] += 1
+        try:
+            with slot[0]:
+                entry = self._lookup_hit(key)
+                if entry is not None:
+                    return entry
                 with self._lock:
+                    self.stats.misses += 1
+                    generation = self._generation
+                return self._factor_entry(a, key, generation)
+        finally:
+            with self._lock:
+                slot[1] -= 1
+                if slot[1] == 0:
                     self._inflight.pop(key, None)
 
-    def _insert(self, key: str, entry: _CacheEntry, factor_seconds: float) -> None:
+    def _insert(
+        self, key: str, entry: _CacheEntry, factor_seconds: float, generation: int
+    ) -> None:
         with self._lock:
+            if generation != self._generation:
+                # The cache was cleared while this factorization ran: the
+                # caller still gets its entry, but inserting it would
+                # resurrect a cleared entry (and charge the reset stats).
+                return
             self._cache[key] = entry
             self._cache.move_to_end(key)
             self.stats.factor_seconds += factor_seconds
@@ -212,7 +241,7 @@ class SolverSession:
     # ------------------------------------------------------------------ #
     # Factorization
     # ------------------------------------------------------------------ #
-    def _factor_entry(self, a: np.ndarray, key: str) -> _CacheEntry:
+    def _factor_entry(self, a: np.ndarray, key: str, generation: int) -> _CacheEntry:
         """Cache miss: factor ``[A | I]`` and materialize the RHS operator."""
         n = a.shape[0]
         t0 = time.perf_counter()
@@ -229,7 +258,7 @@ class SolverSession:
             n=n,
             pad=fact.padding,
         )
-        self._insert(key, entry, elapsed)
+        self._insert(key, entry, elapsed, generation)
         return entry
 
     def warm(self, a: np.ndarray) -> Factorization:
@@ -287,6 +316,10 @@ class SolverSession:
             b_mat = np.asarray(bs, dtype=np.float64)
             if b_mat.ndim == 1:
                 b_mat = b_mat.reshape(-1, 1)
+            elif b_mat.ndim != 2:
+                raise ValueError(
+                    f"right-hand sides must form a 1-D or 2-D array, got ndim={b_mat.ndim}"
+                )
         else:
             b_mat = np.column_stack(
                 [np.asarray(b, dtype=np.float64).reshape(-1) for b in bs]
@@ -298,9 +331,23 @@ class SolverSession:
             )
         xt_mat: Optional[np.ndarray] = None
         if x_true is not None:
-            xt_mat = np.asarray(x_true, dtype=np.float64)
-            if xt_mat.ndim == 1:
-                xt_mat = xt_mat.reshape(-1, 1)
+            # Accept the same forms as ``bs`` (array or sequence of
+            # vectors), mirroring TiledSolverBase.solve_many: a sequence
+            # must be *column*-stacked, or it would land as (nrhs, n) and
+            # the per-column slicing below would read the wrong axis.
+            if isinstance(x_true, np.ndarray):
+                xt_mat = np.asarray(x_true, dtype=np.float64)
+                if xt_mat.ndim == 1:
+                    xt_mat = xt_mat.reshape(-1, 1)
+            else:
+                xt_mat = np.column_stack(
+                    [np.asarray(x, dtype=np.float64).reshape(-1) for x in x_true]
+                )
+            if xt_mat.shape != b_mat.shape:
+                raise ValueError(
+                    f"x_true has shape {xt_mat.shape} but the right-hand sides "
+                    f"have shape {b_mat.shape}"
+                )
 
         entry = self._get_or_factor(a, matrix_fingerprint(a))
         x = self._back_substitute(entry, b_mat)

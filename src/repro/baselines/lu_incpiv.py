@@ -22,6 +22,7 @@ import numpy as np
 from ..api.registry import register_solver
 from ..core.factorization import StepRecord
 from ..core.solver_base import Executor, TiledSolverBase
+from ..kernels.dispatch import KernelCall
 from ..kernels.lu_kernels import LUPanelFactor, apply_swptrsm, factor_panel_lu, factor_tile_lu
 from ..runtime.schedule import KernelTask
 from ..runtime.task import RHS_COLUMN
@@ -67,12 +68,16 @@ class LUIncPivSolver(TiledSolverBase):
             factors["diag"] = factor
             tiles.set_tile(k, k, np.triu(factor.lu))
 
+        # Descriptor keys carrying the pairwise factors along graph edges
+        # on the multi-process executor (mirroring the ``factors`` table).
+        diag_key = ("incpiv-diag", k)
         tasks.append(
             KernelTask(
                 "getrf",
                 do_getrf,
                 reads=frozenset({(k, k)}),
                 writes=frozenset({(k, k)}),
+                call=KernelCall("incpiv.getrf", args=(k,), produces=diag_key),
             )
         )
         record.add_kernel("getrf")
@@ -88,6 +93,9 @@ class LUIncPivSolver(TiledSolverBase):
                     do_swptrsm,
                     reads=frozenset({(k, k), (k, j)}),
                     writes=frozenset({(k, j)}),
+                    call=KernelCall(
+                        "incpiv.swptrsm", args=(k, j), consumes=(diag_key,)
+                    ),
                 )
             )
             record.add_kernel("swptrsm")
@@ -101,6 +109,9 @@ class LUIncPivSolver(TiledSolverBase):
                     do_swptrsm_rhs,
                     reads=frozenset({(k, k), (k, RHS_COLUMN)}),
                     writes=frozenset({(k, RHS_COLUMN)}),
+                    call=KernelCall(
+                        "incpiv.swptrsm_rhs", args=(k,), consumes=(diag_key,)
+                    ),
                 )
             )
             record.add_kernel("swptrsm")
@@ -116,12 +127,16 @@ class LUIncPivSolver(TiledSolverBase):
                 tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
                 tiles.set_tile(i, k, pair.lu[nb:])
 
+            pair_key = ("incpiv-pair", k, i)
             tasks.append(
                 KernelTask(
                     "tstrf",  # PLASMA's pairwise panel kernel
                     do_tstrf,
                     reads=frozenset({(k, k), (i, k)}),
                     writes=frozenset({(k, k), (i, k)}),
+                    call=KernelCall(
+                        "incpiv.tstrf", args=(k, i), produces=pair_key
+                    ),
                 )
             )
             record.add_kernel("tstrf")
@@ -143,6 +158,9 @@ class LUIncPivSolver(TiledSolverBase):
                         do_ssssm,
                         reads=frozenset({(i, k), (k, j), (i, j)}),
                         writes=frozenset({(k, j), (i, j)}),
+                        call=KernelCall(
+                            "incpiv.ssssm", args=(k, i, j), consumes=(pair_key,)
+                        ),
                     )
                 )
                 record.add_kernel("ssssm")
@@ -163,6 +181,9 @@ class LUIncPivSolver(TiledSolverBase):
                         do_ssssm_rhs,
                         reads=frozenset({(i, k), (k, RHS_COLUMN), (i, RHS_COLUMN)}),
                         writes=frozenset({(k, RHS_COLUMN), (i, RHS_COLUMN)}),
+                        call=KernelCall(
+                            "incpiv.ssssm_rhs", args=(k, i), consumes=(pair_key,)
+                        ),
                     )
                 )
                 record.add_kernel("ssssm_rhs")

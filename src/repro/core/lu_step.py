@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from ..kernels.dispatch import KernelCall
 from ..kernels.lu_kernels import apply_swptrsm, eliminate_trsm
 from ..linalg.pivoting import SingularPanelError
 from ..runtime.schedule import KernelTask
@@ -76,8 +77,18 @@ def lu_step_tasks(
     def do_factor() -> None:
         tiles.scatter_panel(k, domain_rows, factor.lu)
 
+    # Descriptor forms ship the pre-computed domain factorization (a
+    # picklable LUPanelFactor) with every task that uses it, so the plan
+    # can also run on the multi-process executor.
+    rows_t = tuple(domain_rows)
     tasks.append(
-        KernelTask("getrf", do_factor, reads=panel_refs, writes=panel_refs)
+        KernelTask(
+            "getrf",
+            do_factor,
+            reads=panel_refs,
+            writes=panel_refs,
+            call=KernelCall("lu.scatter_factor", args=(k, rows_t, factor)),
+        )
     )
     record.add_kernel("getrf")
 
@@ -94,7 +105,13 @@ def lu_step_tasks(
 
         col_refs = frozenset((i, j) for i in domain_rows)
         tasks.append(
-            KernelTask("swptrsm", do_apply, reads=panel_refs | col_refs, writes=col_refs)
+            KernelTask(
+                "swptrsm",
+                do_apply,
+                reads=panel_refs | col_refs,
+                writes=col_refs,
+                call=KernelCall("lu.swptrsm", args=(j, rows_t, factor)),
+            )
         )
         record.add_kernel("swptrsm")
 
@@ -107,7 +124,13 @@ def lu_step_tasks(
 
         rhs_refs = frozenset((i, RHS_COLUMN) for i in domain_rows)
         tasks.append(
-            KernelTask("swptrsm", do_apply_rhs, reads=panel_refs | rhs_refs, writes=rhs_refs)
+            KernelTask(
+                "swptrsm",
+                do_apply_rhs,
+                reads=panel_refs | rhs_refs,
+                writes=rhs_refs,
+                call=KernelCall("lu.swptrsm_rhs", args=(rows_t, factor)),
+            )
         )
         record.add_kernel("swptrsm")
 
@@ -126,6 +149,7 @@ def lu_step_tasks(
                 do_eliminate,
                 reads=frozenset({(k, k), (i, k)}),
                 writes=frozenset({(i, k)}),
+                call=KernelCall("lu.trsm", args=(i, k, factor)),
             )
         )
     # Table I charges one TRSM per sub-diagonal panel tile regardless of
@@ -147,6 +171,7 @@ def lu_step_tasks(
                     do_update,
                     reads=frozenset({(i, k), (k, j), (i, j)}),
                     writes=frozenset({(i, j)}),
+                    call=KernelCall("lu.gemm", args=(i, j, k)),
                 )
             )
             record.add_kernel("gemm")
@@ -160,6 +185,7 @@ def lu_step_tasks(
                     do_update_rhs,
                     reads=frozenset({(i, k), (k, RHS_COLUMN), (i, RHS_COLUMN)}),
                     writes=frozenset({(i, RHS_COLUMN)}),
+                    call=KernelCall("lu.gemm_rhs", args=(i, k)),
                 )
             )
             record.add_kernel("gemm_rhs")

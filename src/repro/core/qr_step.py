@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..kernels.dispatch import KernelCall
 from ..kernels.qr_kernels import QRTileFactor, geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
 from ..runtime.schedule import KernelTask
 from ..runtime.task import RHS_COLUMN
@@ -122,12 +123,17 @@ def qr_step_tasks(
             factors[("geqrt", row)] = factor
             tiles.set_tile(row, k, np.triu(factor.r))
 
+        # In descriptor form the compact-WY factor flows to the update
+        # tasks along the graph edges (produces/consumes keys) instead of
+        # through the in-process ``factors`` table.
+        geqrt_key = ("geqrt", k, row)
         tasks.append(
             KernelTask(
                 "geqrt",
                 do_geqrt,
                 reads=frozenset({(row, k)}),
                 writes=frozenset({(row, k)}),
+                call=KernelCall("qr.geqrt", args=(row, k), produces=geqrt_key),
             )
         )
         record.add_kernel("geqrt")
@@ -142,6 +148,9 @@ def qr_step_tasks(
                     do_unmqr,
                     reads=frozenset({(row, k), (row, j)}),
                     writes=frozenset({(row, j)}),
+                    call=KernelCall(
+                        "qr.unmqr", args=(row, j), consumes=(geqrt_key,)
+                    ),
                 )
             )
             record.add_kernel("unmqr")
@@ -156,6 +165,9 @@ def qr_step_tasks(
                     do_unmqr_rhs,
                     reads=frozenset({(row, k), (row, RHS_COLUMN)}),
                     writes=frozenset({(row, RHS_COLUMN)}),
+                    call=KernelCall(
+                        "qr.unmqr_rhs", args=(row,), consumes=(geqrt_key,)
+                    ),
                 )
             )
             record.add_kernel("unmqr_rhs")
@@ -179,6 +191,7 @@ def qr_step_tasks(
             update_name, update_rhs_name = "tsmqr", "tsmqr_rhs"
         key = ("couple", e.eliminator, e.killed)
         panel_pair = frozenset({(e.eliminator, k), (e.killed, k)})
+        couple_key = ("couple", k, e.eliminator, e.killed)
 
         def do_couple(e=e, couple=couple, key=key) -> None:
             factor = couple(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
@@ -187,7 +200,17 @@ def qr_step_tasks(
             tiles.set_tile(e.killed, k, np.zeros((nb, nb)))
 
         tasks.append(
-            KernelTask(couple_name, do_couple, reads=panel_pair, writes=panel_pair)
+            KernelTask(
+                couple_name,
+                do_couple,
+                reads=panel_pair,
+                writes=panel_pair,
+                call=KernelCall(
+                    "qr.couple",
+                    args=(e.kind, e.eliminator, e.killed, k),
+                    produces=couple_key,
+                ),
+            )
         )
         record.add_kernel(couple_name)
 
@@ -207,6 +230,11 @@ def qr_step_tasks(
                     do_update,
                     reads=pair_j | frozenset({(e.killed, k)}),
                     writes=pair_j,
+                    call=KernelCall(
+                        "qr.update",
+                        args=(e.eliminator, e.killed, j),
+                        consumes=(couple_key,),
+                    ),
                 )
             )
             record.add_kernel(update_name)
@@ -228,6 +256,11 @@ def qr_step_tasks(
                     do_update_rhs,
                     reads=pair_rhs | frozenset({(e.killed, k)}),
                     writes=pair_rhs,
+                    call=KernelCall(
+                        "qr.update_rhs",
+                        args=(e.eliminator, e.killed),
+                        consumes=(couple_key,),
+                    ),
                 )
             )
             record.add_kernel(update_rhs_name)

@@ -24,6 +24,7 @@ bit-identical factors.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -31,17 +32,19 @@ import numpy as np
 
 from ..linalg.pivoting import SingularPanelError
 from ..runtime.executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from ..runtime.process_executor import ProcessExecutor
 from ..runtime.schedule import KernelTask, run_step_tasks, written_tiles
 from ..stability.growth import GrowthTracker
 from ..stability.metrics import stability_report
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
+from ..tiles.shared_buffer import SharedTileBuffer
 from ..tiles.tile_matrix import TileMatrix
 from .factorization import Factorization, SolveResult, StepRecord
 
 __all__ = ["TiledSolverBase", "pad_to_tile_multiple"]
 
 #: Type of the executors accepted by :class:`TiledSolverBase`.
-Executor = Union[SequentialExecutor, ThreadedExecutor]
+Executor = Union[SequentialExecutor, ThreadedExecutor, ProcessExecutor]
 
 
 def pad_to_tile_multiple(
@@ -61,13 +64,15 @@ def pad_to_tile_multiple(
     if pad == 0:
         return a, b, 0
     n_new = n + pad
-    a_pad = np.zeros((n_new, n_new))
+    # Pad in the input's dtype: np.zeros defaults to float64, which would
+    # silently upcast (and change the precision of) non-float64 workloads.
+    a_pad = np.zeros((n_new, n_new), dtype=a.dtype)
     a_pad[:n, :n] = a
-    a_pad[n:, n:] = np.eye(pad)
+    a_pad[n:, n:] = np.eye(pad, dtype=a.dtype)
     b_pad = None
     if b is not None:
         b2 = b.reshape(n, -1)
-        b_pad = np.zeros((n_new, b2.shape[1]))
+        b_pad = np.zeros((n_new, b2.shape[1]), dtype=b2.dtype)
         b_pad[:n, :] = b2
     return a_pad, b_pad, pad
 
@@ -93,9 +98,14 @@ class TiledSolverBase(ABC):
         kernels are materialised as a task graph and dispatched on it (a
         :class:`~repro.runtime.executor.ThreadedExecutor` overlaps the
         trailing-matrix updates, since numpy kernels release the GIL inside
-        BLAS); when ``None`` (default) the kernels run inline in program
-        order.  Per-step :class:`~repro.runtime.executor.ExecutionTrace`
-        objects of the last factorization are kept in ``step_traces``.
+        BLAS; a :class:`~repro.runtime.process_executor.ProcessExecutor`
+        runs them on worker processes, in which case the tiles are
+        materialised in a shared-memory
+        :class:`~repro.tiles.shared_buffer.SharedTileBuffer` for the
+        duration of the factorization); when ``None`` (default) the kernels
+        run inline in program order.  Per-step
+        :class:`~repro.runtime.executor.ExecutionTrace` objects of the
+        last factorization are kept in ``step_traces``.
     """
 
     #: Name used in experiment tables; overridden by subclasses.
@@ -119,6 +129,11 @@ class TiledSolverBase(ABC):
         self.step_traces: List[ExecutionTrace] = []
         self._norm_cache: Optional[np.ndarray] = None
         self._last_written = None
+        # A solver instance carries per-factorization state (the norm
+        # cache, step traces, criterion state), so concurrent factor()
+        # calls on one instance must serialize; SolverSession relies on
+        # this when misses on different matrices share its single solver.
+        self._factor_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses
@@ -164,7 +179,13 @@ class TiledSolverBase(ABC):
     # Public API
     # ------------------------------------------------------------------ #
     def factor(self, a: np.ndarray, b: Optional[np.ndarray] = None) -> Factorization:
-        """Factor ``[A | b]`` and return the :class:`Factorization`."""
+        """Factor ``[A | b]`` and return the :class:`Factorization`.
+
+        Thread-safe in the sense that concurrent calls on one solver
+        instance serialize (the instance carries per-factorization state);
+        use separate solver instances for genuinely parallel
+        factorizations.
+        """
         a = np.asarray(a, dtype=np.float64)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError(f"A must be square, got shape {a.shape}")
@@ -174,9 +195,23 @@ class TiledSolverBase(ABC):
                 raise ValueError(
                     f"b has {b.shape[0]} rows but A has order {a.shape[0]}"
                 )
+        with self._factor_lock:
+            return self._factor_locked(a, b)
 
+    def _factor_locked(
+        self, a: np.ndarray, b: Optional[np.ndarray]
+    ) -> Factorization:
         a_work, b_work, pad = pad_to_tile_multiple(a, b, self.tile_size)
-        tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
+        # A multi-process executor needs the tiles in shared memory so its
+        # workers see (and mutate) the same bytes; the factors are copied
+        # back out below so the returned Factorization owns plain arrays.
+        shared: Optional[SharedTileBuffer] = None
+        if getattr(self.executor, "uses_shared_tiles", False):
+            shared = SharedTileBuffer.allocate(a_work, self.tile_size, rhs=b_work)
+            tiles = shared.tile_matrix()
+            self.executor.bind(shared.meta)
+        else:
+            tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
         dist = BlockCyclicDistribution(self.grid, tiles.n)
         self._reset()
         self.step_traces = []
@@ -190,16 +225,23 @@ class TiledSolverBase(ABC):
 
         steps = []
         breakdown: Optional[str] = None
-        for k in range(tiles.n):
-            self._last_written = None
-            try:
-                record = self._do_step(tiles, dist, k)
-            except SingularPanelError as exc:
-                breakdown = f"step {k}: {exc}"
-                break
-            steps.append(record)
-            if growth is not None:
-                growth.record(self._active_region_max_norm(tiles, k))
+        try:
+            for k in range(tiles.n):
+                self._last_written = None
+                try:
+                    record = self._do_step(tiles, dist, k)
+                except SingularPanelError as exc:
+                    breakdown = f"step {k}: {exc}"
+                    break
+                steps.append(record)
+                if growth is not None:
+                    growth.record(self._active_region_max_norm(tiles, k))
+        finally:
+            if shared is not None:
+                self.executor.unbind()
+                tiles = tiles.copy()  # move the factors out of shared memory
+                shared.close()
+                shared.unlink()
 
         self._norm_cache = None
         self._last_written = None

@@ -1,5 +1,7 @@
-"""Tile kernels (LU and QR) and their flop model (Table I)."""
+"""Tile kernels (LU and QR), their flop model (Table I), and the picklable
+kernel-descriptor dispatch table used by the multi-process executor."""
 
+from .dispatch import KERNELS, KernelCall, execute_kernel_call
 from .flops import (
     KernelFlops,
     factorization_flops_lu,
@@ -22,6 +24,9 @@ from .lu_kernels import (
 from .qr_kernels import QRTileFactor, geqrt_tile, tsmqr, tsqrt, ttmqr, ttqrt, unmqr
 
 __all__ = [
+    "KernelCall",
+    "KERNELS",
+    "execute_kernel_call",
     "KernelFlops",
     "kernel_flops",
     "lu_step_flops",

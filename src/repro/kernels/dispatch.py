@@ -1,0 +1,307 @@
+"""Picklable kernel descriptors and the worker-side dispatch table.
+
+Kernel *closures* (the ``fn`` of a
+:class:`~repro.runtime.schedule.KernelTask`) capture live objects — the
+:class:`~repro.tiles.tile_matrix.TileMatrix`, panel factors, the step's
+factor table — so they can run on threads but can never cross a process
+boundary.  The multi-process executor therefore ships each task as a
+:class:`KernelCall` descriptor instead: a kernel *name* resolved against
+the :data:`KERNELS` table below, plus a tuple of picklable arguments (tile
+indices, domain rows, pre-computed panel factors).
+
+Data produced at execution time (compact-WY factors from GEQRT/TSQRT,
+pairwise-pivot factors from TSTRF) flows along the graph edges exactly as
+in PaRSEC: a producing call names a ``produces`` key, the scheduler
+publishes the worker's return value under that key, and consuming calls
+list the key in ``consumes`` — the values are injected when the consumer
+is dispatched, which is always after the producer finished because the
+tile access sets already order producer before consumer.
+
+Every operation reads and writes tiles through a
+:class:`~repro.tiles.tile_matrix.TileMatrix` view over the shared-memory
+segment described by a
+:class:`~repro.tiles.shared_buffer.SharedBufferMeta`; attachments are
+cached per worker process so only the first task of a factorization pays
+the attach cost.
+
+The numerical code below mirrors the closures in
+:mod:`repro.core.lu_step`, :mod:`repro.core.qr_step` and
+:mod:`repro.baselines.lu_incpiv` operation for operation, so descriptor
+execution is bit-identical to closure execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import current_process
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..tiles.shared_buffer import SharedBufferMeta, SharedTileBuffer
+from ..tiles.tile_matrix import TileMatrix
+from .lu_kernels import apply_swptrsm, eliminate_trsm, factor_panel_lu, factor_tile_lu
+from .qr_kernels import geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
+
+__all__ = ["KernelCall", "KERNELS", "kernel_op", "execute_kernel_call"]
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """Picklable form of one kernel task.
+
+    Attributes
+    ----------
+    kernel:
+        Name resolved against :data:`KERNELS` in the executing process.
+    args:
+        Static positional arguments (tile indices, domain rows, panel
+        factors) — everything here must pickle.
+    consumes:
+        Keys of upstream results injected at dispatch time (ordered; the
+        operation receives them as its ``inputs`` tuple).
+    produces:
+        Key under which the operation's return value is published for
+        downstream ``consumes``.
+    """
+
+    kernel: str
+    args: Tuple[Any, ...] = ()
+    consumes: Tuple[Any, ...] = ()
+    produces: Optional[Any] = None
+
+
+#: Name -> operation table the worker resolves descriptors against.
+KERNELS: Dict[str, Callable[..., Any]] = {}
+
+
+def kernel_op(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a worker-side kernel operation under ``name``."""
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in KERNELS:
+            raise ValueError(f"kernel operation {name!r} is already registered")
+        KERNELS[name] = fn
+        return fn
+
+    return decorator
+
+
+# --------------------------------------------------------------------------- #
+# LU step (variant A1) — mirrors repro.core.lu_step closures
+# --------------------------------------------------------------------------- #
+@kernel_op("lu.scatter_factor")
+def _lu_scatter_factor(tiles: TileMatrix, inputs, k, domain_rows, factor) -> None:
+    tiles.scatter_panel(k, list(domain_rows), factor.lu)
+
+
+@kernel_op("lu.swptrsm")
+def _lu_swptrsm(tiles: TileMatrix, inputs, j, domain_rows, factor) -> None:
+    rows = list(domain_rows)
+    stacked = tiles.panel(j, rows)
+    stacked = apply_swptrsm(factor, stacked)
+    tiles.scatter_panel(j, rows, stacked)
+
+
+@kernel_op("lu.swptrsm_rhs")
+def _lu_swptrsm_rhs(tiles: TileMatrix, inputs, domain_rows, factor) -> None:
+    nb = tiles.nb
+    rows = list(domain_rows)
+    stacked = np.vstack([tiles.rhs_tile(i) for i in rows])
+    stacked = apply_swptrsm(factor, stacked)
+    for idx, i in enumerate(rows):
+        tiles.rhs_tile(i)[...] = stacked[idx * nb : (idx + 1) * nb]
+
+
+@kernel_op("lu.trsm")
+def _lu_trsm(tiles: TileMatrix, inputs, i, k, factor) -> None:
+    tiles.set_tile(i, k, eliminate_trsm(factor, tiles.tile(i, k)))
+
+
+@kernel_op("lu.gemm")
+def _lu_gemm(tiles: TileMatrix, inputs, i, j, k) -> None:
+    tiles.tile(i, j)[...] -= tiles.tile(i, k) @ tiles.tile(k, j)
+
+
+@kernel_op("lu.gemm_rhs")
+def _lu_gemm_rhs(tiles: TileMatrix, inputs, i, k) -> None:
+    tiles.rhs_tile(i)[...] -= tiles.tile(i, k) @ tiles.rhs_tile(k)
+
+
+# --------------------------------------------------------------------------- #
+# QR step (hierarchical tiled QR) — mirrors repro.core.qr_step closures
+# --------------------------------------------------------------------------- #
+@kernel_op("qr.geqrt")
+def _qr_geqrt(tiles: TileMatrix, inputs, row, k):
+    factor = geqrt_tile(tiles.tile(row, k))
+    tiles.set_tile(row, k, np.triu(factor.r))
+    return factor
+
+
+@kernel_op("qr.unmqr")
+def _qr_unmqr(tiles: TileMatrix, inputs, row, j) -> None:
+    (factor,) = inputs
+    tiles.set_tile(row, j, unmqr(factor, tiles.tile(row, j)))
+
+
+@kernel_op("qr.unmqr_rhs")
+def _qr_unmqr_rhs(tiles: TileMatrix, inputs, row) -> None:
+    (factor,) = inputs
+    tiles.rhs_tile(row)[...] = unmqr(factor, tiles.rhs_tile(row))
+
+
+@kernel_op("qr.couple")
+def _qr_couple(tiles: TileMatrix, inputs, kind, eliminator, killed, k):
+    couple = ttqrt if kind == "TT" else tsqrt
+    factor = couple(tiles.tile(eliminator, k), tiles.tile(killed, k))
+    tiles.set_tile(eliminator, k, np.triu(factor.r))
+    tiles.set_tile(killed, k, np.zeros((tiles.nb, tiles.nb)))
+    return factor
+
+
+@kernel_op("qr.update")
+def _qr_update(tiles: TileMatrix, inputs, eliminator, killed, j) -> None:
+    (factor,) = inputs
+    top, bottom = tsmqr(factor, tiles.tile(eliminator, j), tiles.tile(killed, j))
+    tiles.set_tile(eliminator, j, top)
+    tiles.set_tile(killed, j, bottom)
+
+
+@kernel_op("qr.update_rhs")
+def _qr_update_rhs(tiles: TileMatrix, inputs, eliminator, killed) -> None:
+    (factor,) = inputs
+    top, bottom = tsmqr(factor, tiles.rhs_tile(eliminator), tiles.rhs_tile(killed))
+    tiles.rhs_tile(eliminator)[...] = top
+    tiles.rhs_tile(killed)[...] = bottom
+
+
+# --------------------------------------------------------------------------- #
+# LU IncPiv — mirrors repro.baselines.lu_incpiv closures
+# --------------------------------------------------------------------------- #
+@kernel_op("incpiv.getrf")
+def _incpiv_getrf(tiles: TileMatrix, inputs, k):
+    factor = factor_tile_lu(tiles.tile(k, k))
+    tiles.set_tile(k, k, np.triu(factor.lu))
+    return factor
+
+
+@kernel_op("incpiv.swptrsm")
+def _incpiv_swptrsm(tiles: TileMatrix, inputs, k, j) -> None:
+    (factor,) = inputs
+    tiles.set_tile(k, j, apply_swptrsm(factor, tiles.tile(k, j)))
+
+
+@kernel_op("incpiv.swptrsm_rhs")
+def _incpiv_swptrsm_rhs(tiles: TileMatrix, inputs, k) -> None:
+    (factor,) = inputs
+    tiles.rhs_tile(k)[...] = apply_swptrsm(factor, tiles.rhs_tile(k))
+
+
+@kernel_op("incpiv.tstrf")
+def _incpiv_tstrf(tiles: TileMatrix, inputs, k, i):
+    nb = tiles.nb
+    stacked = np.vstack([np.triu(tiles.tile(k, k)), tiles.tile(i, k)])
+    pair = factor_panel_lu(stacked, nb, recursive=False)
+    tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
+    tiles.set_tile(i, k, pair.lu[nb:])
+    return pair
+
+
+def _ssssm_pair(pair, nb, top, bottom):
+    l2 = pair.lu[nb:]
+    c = np.vstack([top, bottom])
+    c = apply_swptrsm(pair, c)
+    return c[:nb], c[nb:] - l2 @ c[:nb]
+
+
+@kernel_op("incpiv.ssssm")
+def _incpiv_ssssm(tiles: TileMatrix, inputs, k, i, j) -> None:
+    (pair,) = inputs
+    top, bottom = _ssssm_pair(pair, tiles.nb, tiles.tile(k, j), tiles.tile(i, j))
+    tiles.set_tile(k, j, top)
+    tiles.set_tile(i, j, bottom)
+
+
+@kernel_op("incpiv.ssssm_rhs")
+def _incpiv_ssssm_rhs(tiles: TileMatrix, inputs, k, i) -> None:
+    (pair,) = inputs
+    top, bottom = _ssssm_pair(pair, tiles.nb, tiles.rhs_tile(k), tiles.rhs_tile(i))
+    tiles.rhs_tile(k)[...] = top
+    tiles.rhs_tile(i)[...] = bottom
+
+
+# --------------------------------------------------------------------------- #
+# Worker entry point
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Attachment:
+    buffer: SharedTileBuffer
+    tiles: TileMatrix
+
+
+#: Per-process cache of shared-segment attachments, so only the first task
+#: of a factorization pays the attach cost.  Bounded: concurrent
+#: factorizations interleave tasks of different segments through the same
+#: worker, so a few attachments stay warm at once; beyond that the oldest
+#: is closed.  Segments the owner already unlinked are dropped eagerly
+#: (checked against /dev/shm where POSIX shared memory lives), so a big
+#: finished factorization does not stay resident in every worker until
+#: unrelated traffic happens to evict it.  A fully *idle* worker still
+#: holds its most recent attachments until the next task or pool shutdown
+#: — the price of a persistent pool.
+_ATTACHMENTS: Dict[str, _Attachment] = {}
+_MAX_ATTACHMENTS = 4
+
+
+def _segment_unlinked(name: str) -> bool:
+    try:
+        return os.path.isdir("/dev/shm") and not os.path.exists("/dev/shm/" + name)
+    except OSError:  # pragma: no cover - defensive
+        return False
+
+
+def _drop_attachment(name: str) -> None:
+    stale = _ATTACHMENTS.pop(name, None)
+    if stale is not None:
+        stale.tiles = None
+        stale.buffer.close()
+
+
+def _tiles_for(meta: SharedBufferMeta) -> TileMatrix:
+    for name in list(_ATTACHMENTS):
+        if name != meta.name and _segment_unlinked(name):
+            _drop_attachment(name)
+    cached = _ATTACHMENTS.get(meta.name)
+    if cached is not None:
+        return cached.tiles
+    while len(_ATTACHMENTS) >= _MAX_ATTACHMENTS:
+        _drop_attachment(next(iter(_ATTACHMENTS)))
+    buffer = SharedTileBuffer.attach(meta)
+    attachment = _Attachment(buffer=buffer, tiles=buffer.tile_matrix())
+    _ATTACHMENTS[meta.name] = attachment
+    return attachment.tiles
+
+
+def execute_kernel_call(
+    meta: SharedBufferMeta, call: KernelCall, inputs: Tuple[Any, ...]
+) -> Tuple[Any, float, float, str]:
+    """Run one :class:`KernelCall` against the shared tiles (worker side).
+
+    Returns ``(result, start, finish, worker_name)`` where the timestamps
+    come from :func:`time.perf_counter` (system-wide monotonic on Linux, so
+    they are comparable across the worker processes of one node).
+    """
+    tiles = _tiles_for(meta)
+    try:
+        op = KERNELS[call.kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel operation {call.kernel!r}; available: "
+            f"{', '.join(sorted(KERNELS))}"
+        ) from None
+    start = time.perf_counter()
+    result = op(tiles, inputs, *call.args)
+    finish = time.perf_counter()
+    return result, start, finish, current_process().name

@@ -53,6 +53,8 @@ class ExecutionTrace:
         (it errored, or the run timed out) is counted as in flight until
         the end of the sampled window.
         """
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
         # Snapshot the dicts: after a timeout, a leaked worker thread may
         # still be writing into this trace while the caller inspects it.
         start_times = dict(self.start_times)
@@ -65,7 +67,10 @@ class ExecutionTrace:
             t1 = max(t1, max(finish_times.values()))
         if t1 <= t0:
             return [len(start_times)]
-        points = [t0 + (t1 - t0) * i / (resolution - 1) for i in range(resolution)]
+        if resolution == 1:
+            points = [t0]  # a single sample, taken at the window start
+        else:
+            points = [t0 + (t1 - t0) * i / (resolution - 1) for i in range(resolution)]
         out = []
         for p in points:
             running = sum(

@@ -47,6 +47,7 @@ class TaskGraph:
         critical: bool = False,
         duration_hint: Optional[float] = None,
         fn=None,
+        call=None,
         extra_deps: Iterable[int] = (),
     ) -> Task:
         """Append a task; infer its dependencies from tile accesses."""
@@ -63,6 +64,7 @@ class TaskGraph:
             critical=critical,
             duration_hint=duration_hint,
             fn=fn,
+            call=call,
         )
 
         deps: Set[int] = set(extra_deps)

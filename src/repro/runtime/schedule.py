@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterable, Optional, Sequence
 
-from .executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from .executor import ExecutionTrace
 from .graph import TaskGraph
 from .task import TileRef
 
@@ -58,6 +58,11 @@ class KernelTask:
         Dependencies between tasks are inferred from these sets.
     flops:
         Optional flop count (forwarded to the graph for diagnostics).
+    call:
+        Optional picklable :class:`~repro.kernels.dispatch.KernelCall`
+        descriptor form of the same kernel — the form the multi-process
+        executor ships to its workers (closures cannot cross a process
+        boundary, so a task without a descriptor can only run in-process).
     """
 
     kernel: str
@@ -65,6 +70,7 @@ class KernelTask:
     reads: FrozenSet[TileRef] = frozenset()
     writes: FrozenSet[TileRef] = frozenset()
     flops: float = 0.0
+    call: Optional[object] = None
 
 
 def build_step_graph(
@@ -89,21 +95,23 @@ def build_step_graph(
             writes=t.writes,
             flops=t.flops,
             fn=t.fn,
+            call=t.call,
         )
     return graph
 
 
 def run_step_tasks(
     tasks: Sequence[KernelTask],
-    executor: "Optional[SequentialExecutor | ThreadedExecutor]" = None,
+    executor=None,
     step: int = 0,
 ) -> Optional[ExecutionTrace]:
     """Execute one step's kernel tasks, sequentially or on an executor.
 
     With ``executor=None`` the tasks simply run in program order with no
     graph overhead (the sequential reference path); otherwise the task
-    graph is materialised and dispatched, and the execution trace is
-    returned so callers can inspect the achieved parallelism.
+    graph is materialised and dispatched on the executor (sequential,
+    threaded, or multi-process), and the execution trace is returned so
+    callers can inspect the achieved parallelism.
     """
     if executor is None:
         for t in tasks:

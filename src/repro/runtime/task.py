@@ -60,6 +60,10 @@ class Task:
         all-reduce or the LUPP pivot exchange).
     fn:
         Optional callable executed by the threaded/sequential executors.
+    call:
+        Optional picklable :class:`~repro.kernels.dispatch.KernelCall`
+        descriptor of the same kernel, executed by the multi-process
+        executor (closures cannot cross a process boundary).
     """
 
     uid: int
@@ -72,6 +76,7 @@ class Task:
     critical: bool = False
     duration_hint: Optional[float] = None
     fn: Optional[Callable[[], None]] = None
+    call: Optional[object] = None
     deps: Set[int] = field(default_factory=set)
 
     def touches(self) -> FrozenSet[TileRef]:

@@ -1,6 +1,13 @@
-"""Tiled-matrix containers and 2D block-cyclic data distribution."""
+"""Tiled-matrix containers, shared-memory backing, block-cyclic distribution."""
 
 from .distribution import BlockCyclicDistribution, ProcessGrid
+from .shared_buffer import SharedBufferMeta, SharedTileBuffer
 from .tile_matrix import TileMatrix
 
-__all__ = ["TileMatrix", "ProcessGrid", "BlockCyclicDistribution"]
+__all__ = [
+    "TileMatrix",
+    "ProcessGrid",
+    "BlockCyclicDistribution",
+    "SharedBufferMeta",
+    "SharedTileBuffer",
+]

@@ -1,0 +1,202 @@
+"""Shared-memory backing store for tile matrices.
+
+The multi-process executor (:class:`~repro.runtime.process_executor.ProcessExecutor`)
+runs kernel tasks in worker *processes*, so the tiles of the factorization
+cannot live in ordinary heap memory: every worker needs to read and write
+the same ``(N, N)`` array (and the attached right-hand side) without
+copying tiles through pickles.  :class:`SharedTileBuffer` places both
+arrays in one :class:`multiprocessing.shared_memory.SharedMemory` segment;
+the owning process fills it from dense arrays, workers attach by name and
+view the exact same bytes.
+
+Layout: the segment holds the ``(order, order)`` float64 matrix first,
+immediately followed by the ``(order, nrhs)`` right-hand-side block (when
+``nrhs > 0``).  Both blocks are C-contiguous, so a
+:class:`~repro.tiles.tile_matrix.TileMatrix` constructed over the views
+(``copy=False``) aliases the shared segment and every ``tile(i, j)`` view
+reads/writes shared bytes directly.
+
+Lifecycle: the creating process is the owner — it must call :meth:`close`
+and :meth:`unlink` when the factorization is done (the tiled drivers copy
+the factors out of the segment first, so the returned
+:class:`~repro.core.factorization.Factorization` owns plain arrays).
+Workers only :meth:`close` their attachment; attaching also *unregisters*
+the segment from the worker's resource tracker so a worker exiting does
+not tear a live segment away from its siblings (Python < 3.13 registers
+attachments too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from .tile_matrix import TileMatrix
+
+__all__ = ["SharedBufferMeta", "SharedTileBuffer"]
+
+_ITEMSIZE = np.dtype(np.float64).itemsize
+
+
+@dataclass(frozen=True)
+class SharedBufferMeta:
+    """Picklable handle of a :class:`SharedTileBuffer`.
+
+    This is what travels to worker processes inside task descriptors: the
+    segment name plus the geometry needed to rebuild the numpy views.
+    """
+
+    name: str
+    order: int
+    tile_size: int
+    nrhs: int
+
+    @property
+    def nbytes(self) -> int:
+        return (self.order * self.order + self.order * self.nrhs) * _ITEMSIZE
+
+
+class SharedTileBuffer:
+    """One shared-memory segment holding a tile matrix (and optional RHS).
+
+    Construct through :meth:`allocate` (owner side) or :meth:`attach`
+    (worker side); the raw constructor wires an existing segment.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        meta: SharedBufferMeta,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.meta = meta
+        self.owner = owner
+        order, nrhs = meta.order, meta.nrhs
+        self._array: Optional[np.ndarray] = np.ndarray(
+            (order, order), dtype=np.float64, buffer=shm.buf
+        )
+        self._rhs: Optional[np.ndarray] = None
+        if nrhs > 0:
+            self._rhs = np.ndarray(
+                (order, nrhs),
+                dtype=np.float64,
+                buffer=shm.buf,
+                offset=order * order * _ITEMSIZE,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def allocate(
+        cls,
+        a: np.ndarray,
+        tile_size: int,
+        rhs: Optional[np.ndarray] = None,
+    ) -> "SharedTileBuffer":
+        """Create a segment and copy ``a`` (and ``rhs``) into it (owner side)."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"shared tile buffer requires a square matrix, got {a.shape}")
+        order = a.shape[0]
+        if order % tile_size != 0:
+            raise ValueError(
+                f"matrix order {order} is not a multiple of tile_size {tile_size}"
+            )
+        nrhs = 0
+        if rhs is not None:
+            rhs = np.asarray(rhs, dtype=np.float64)
+            if rhs.ndim == 1:
+                rhs = rhs.reshape(-1, 1)
+            if rhs.shape[0] != order:
+                raise ValueError(f"rhs has {rhs.shape[0]} rows, expected {order}")
+            nrhs = rhs.shape[1]
+        size = (order * order + order * nrhs) * _ITEMSIZE
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        meta = SharedBufferMeta(
+            name=shm.name, order=order, tile_size=int(tile_size), nrhs=nrhs
+        )
+        buf = cls(shm, meta, owner=True)
+        buf._array[...] = a
+        if nrhs:
+            buf._rhs[...] = rhs
+        return buf
+
+    @classmethod
+    def attach(cls, meta: SharedBufferMeta) -> "SharedTileBuffer":
+        """Attach to an existing segment by its metadata (worker side)."""
+        try:
+            shm = shared_memory.SharedMemory(name=meta.name, track=False)
+        except TypeError:  # Python < 3.13: no track parameter
+            # Suppress the attach-side resource-tracker registration: only
+            # the owner may track the segment.  A forked worker shares the
+            # owner's tracker (a later unregister would strip the owner's
+            # entry); a spawned worker has its own tracker (which would
+            # unlink the live segment when the worker exits).
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=meta.name)
+            finally:
+                resource_tracker.register = original_register
+        return cls(shm, meta, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def array(self) -> np.ndarray:
+        """The shared ``(order, order)`` matrix view."""
+        if self._array is None:
+            raise ValueError("shared tile buffer is closed")
+        return self._array
+
+    @property
+    def rhs(self) -> Optional[np.ndarray]:
+        """The shared ``(order, nrhs)`` right-hand-side view (or ``None``)."""
+        if self._array is None:
+            raise ValueError("shared tile buffer is closed")
+        return self._rhs
+
+    def tile_matrix(self) -> TileMatrix:
+        """A :class:`TileMatrix` aliasing the shared segment (no copies)."""
+        return TileMatrix(self.array, self.meta.tile_size, rhs=self.rhs, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (owner must also :meth:`unlink`).
+
+        Callers must drop every :class:`TileMatrix` / array referencing the
+        buffer first; a still-exported view keeps the mapping alive until
+        it is garbage collected.
+        """
+        self._array = None
+        self._rhs = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # A numpy view on the segment is still alive somewhere; the
+            # mapping is released when the last view is collected.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side; idempotent)."""
+        if not self.owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedTileBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

@@ -33,6 +33,17 @@ class TestPadding:
         a2, b2, pad = pad_to_tile_multiple(rng.standard_normal((10, 10)), None, 4)
         assert pad == 2 and b2 is None
 
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.complex128])
+    def test_padding_preserves_dtype(self, rng, dtype):
+        """Regression: padding silently upcast everything to float64."""
+        a = rng.standard_normal((10, 10)).astype(dtype)
+        b = rng.standard_normal(10).astype(dtype)
+        a2, b2, pad = pad_to_tile_multiple(a, b, 4)
+        assert pad == 2
+        assert a2.dtype == dtype
+        assert b2.dtype == dtype
+        np.testing.assert_array_equal(a2[:10, :10], a)
+
     @pytest.mark.parametrize("n,nb", [(13, 8), (21, 8), (7, 4), (30, 16)])
     def test_round_trip_1d_rhs(self, rng, n, nb):
         """Solving a padded system returns the original 1-D solution."""

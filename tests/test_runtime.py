@@ -288,6 +288,26 @@ class TestExecutorErrorHandling:
         profile = trace.concurrency_profile(resolution=5)
         assert profile[-1] == 2
 
+    def test_concurrency_profile_single_point(self):
+        """Regression: resolution=1 must not divide by zero."""
+        from repro.runtime import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.start_times = {0: 0.0, 1: 0.5}
+        trace.finish_times = {0: 1.0, 1: 1.5}
+        profile = trace.concurrency_profile(resolution=1)
+        assert profile == [1]  # sampled at the window start: only task 0
+
+    def test_concurrency_profile_validates_resolution(self):
+        from repro.runtime import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.start_times = {0: 0.0}
+        trace.finish_times = {0: 1.0}
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="resolution"):
+                trace.concurrency_profile(resolution=bad)
+
     def test_threaded_error_trace_inspectable(self):
         executor = ThreadedExecutor(workers=2)
         with pytest.raises(RuntimeError, match="kernel failed"):

@@ -131,6 +131,41 @@ class TestSessionCache:
             np.testing.assert_allclose(r.x, xs[:, j], atol=1e-8)
             assert r.hpl3 < 50
 
+    def test_solve_many_x_true_as_sequence_of_vectors(self, rng, session):
+        """Regression: a sequence-form x_true must be *column*-stacked.
+
+        It used to go through ``np.asarray`` only, landing as ``(nrhs, n)``
+        so the per-column slicing read the wrong axis (or broke outright).
+        """
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        xs = [rng.standard_normal(n) for _ in range(3)]
+        bs = [a @ x for x in xs]
+        results = session.solve_many(a, bs, x_true=xs)
+        for r in results:
+            assert r.stability.forward_error is not None
+            assert r.stability.forward_error < 1e-8
+
+    def test_solve_many_validations_match_base_class(self, rng, session):
+        """Regression: the base class's shape validations were missing."""
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            session.solve_many(a, np.ones((n, 2, 2)))
+        with pytest.raises(ValueError, match="x_true has shape"):
+            session.solve_many(a, np.ones((n, 2)), x_true=np.ones((n, 3)))
+
+    def test_solve_many_matches_direct_solver(self, rng, session):
+        n = 24
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        bs = [rng.standard_normal(n) for _ in range(2)]
+        direct = repro.make_solver(
+            "hybrid", tile_size=8, criterion="max(alpha=50)"
+        ).solve_many(a, bs)
+        served = session.solve_many(a, bs)
+        for d, s in zip(direct, served):
+            np.testing.assert_allclose(s.x, d.x, atol=1e-10)
+
     def test_breakdown_raises_and_is_not_cached(self):
         # A singular matrix breaks the factorization down.
         session = repro.SolverSession(algorithm="lu_nopiv", tile_size=2)
@@ -170,6 +205,158 @@ class TestSessionCache:
         session.solve(a, rng.standard_normal(n))
         session.solve(a, rng.standard_normal(n))
         assert session.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class _InstrumentedSolver:
+    """Wraps a real solver to observe (and stall) its ``factor`` calls."""
+
+    def __init__(self, inner, before=None, after=None):
+        self.inner = inner
+        self.algorithm = inner.algorithm
+        self._before = before
+        self._after = after
+
+    def factor(self, a, b=None):
+        if self._before is not None:
+            self._before()
+        try:
+            return self.inner.factor(a, b)
+        finally:
+            if self._after is not None:
+                self._after()
+
+    def solve(self, a, b, x_true=None):
+        return self.inner.solve(a, b, x_true=x_true)
+
+
+class TestClearRace:
+    def test_clear_during_factorization_does_not_resurrect_entry(self, rng):
+        """An in-flight miss must not re-insert its entry after clear()."""
+        import threading
+
+        started = threading.Event()
+        cleared = threading.Event()
+
+        def before():
+            started.set()
+            assert cleared.wait(10.0), "clear() never ran"
+
+        solver = _InstrumentedSolver(
+            repro.make_solver("lupp", tile_size=8), before=before
+        )
+        session = repro.SolverSession(solver)
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        b = rng.standard_normal(n)
+        results = []
+        t = threading.Thread(target=lambda: results.append(session.solve(a, b)))
+        t.start()
+        assert started.wait(10.0)
+        session.clear()  # races the factorization that is still running
+        cleared.set()
+        t.join()
+
+        # The solve itself succeeded (the caller keeps its entry) ...
+        np.testing.assert_allclose(a @ results[0].x, b, atol=1e-8)
+        # ... but the cleared cache was not resurrected, and the reset
+        # stats were not charged for pre-clear work.
+        assert len(session) == 0
+        assert session.stats.misses == 0
+        assert session.stats.factor_seconds == 0.0
+
+    def test_concurrent_misses_on_different_matrices(self, rng, session):
+        """Regression: different-key misses share one solver instance.
+
+        The solver carries per-factorization state (norm cache, traces),
+        so concurrent ``factor`` calls must serialize inside it instead of
+        corrupting each other (previously a broadcast error or silently
+        wrong growth stats, and with a process executor a racing buffer
+        binding).
+        """
+        import threading
+
+        mats = [
+            rng.standard_normal((16, 16)) + 4.0 * np.eye(16),
+            rng.standard_normal((32, 32)) + 4.0 * np.eye(32),
+        ]
+        vecs = [rng.standard_normal(16), rng.standard_normal(32)]
+        errors, residuals = [], []
+
+        def solve(i):
+            try:
+                r = session.solve(mats[i], vecs[i])
+                residuals.append(float(np.linalg.norm(mats[i] @ r.x - vecs[i])))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        for _ in range(3):
+            session.clear()
+            threads = [threading.Thread(target=solve, args=(i,)) for i in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not errors, errors
+        assert max(residuals) < 1e-8
+
+    def test_hammered_key_with_concurrent_clear(self, rng):
+        """Many threads on one key + clear(): never two factorizations at once."""
+        import threading
+        import time
+
+        lock = threading.Lock()
+        state = {"active": 0, "max_active": 0, "calls": 0}
+
+        def before():
+            with lock:
+                state["active"] += 1
+                state["calls"] += 1
+                state["max_active"] = max(state["max_active"], state["active"])
+            time.sleep(0.005)  # widen the race window
+
+        def after():
+            with lock:
+                state["active"] -= 1
+
+        solver = _InstrumentedSolver(
+            repro.make_solver("lupp", tile_size=8), before=before, after=after
+        )
+        session = repro.SolverSession(solver)
+        n = 16
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        b = rng.standard_normal(n)
+        n_clears = 6
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    np.testing.assert_allclose(a @ session.solve(a, b).x, b, atol=1e-8)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def clearer():
+            for _ in range(n_clears):
+                time.sleep(0.004)
+                session.clear()
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors, errors
+        # The per-key lock keeps serializing across clear(): the same
+        # matrix never factors twice concurrently, and each clear() allows
+        # at most one legitimate re-factorization.
+        assert state["max_active"] == 1
+        assert state["calls"] <= n_clears + 1
+        # Stats stay internally consistent after the interleaved resets.
+        assert session.stats.requests == session.stats.hits + session.stats.misses
+        assert 0 <= session.stats.misses <= state["calls"]
 
 
 class TestSessionConstruction:
