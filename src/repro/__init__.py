@@ -35,6 +35,12 @@ matrix fingerprint so only the first request pays the O(n^3) cost:
 >>> x2 = session.solve(a, rng.standard_normal(96))  # cache hit: back-subst.
 >>> (session.stats.misses, session.stats.hits)
 (1, 1)
+
+The asynchronous layer on top is :class:`~repro.api.service.SolverService`:
+``register`` a matrix once (one fingerprint, a cheap handle), ``submit``
+right-hand sides without blocking, and let the dispatcher coalesce queued
+requests against the same matrix into one back-substitution pass — or
+simply ``await repro.asolve(a, b)`` from asyncio code.
 """
 
 from .baselines import HQRSolver, LUIncPivSolver, LUNoPivSolver, LUPPSolver
@@ -52,8 +58,14 @@ from .stability import hpl3, stability_report
 from .tiles import BlockCyclicDistribution, ProcessGrid, TileMatrix
 from .api import (
     CacheStats,
+    MatrixHandle,
+    ServiceClosed,
+    ServiceStats,
+    SolveFuture,
+    SolverService,
     SolverSession,
     SolverSpec,
+    asolve,
     factor,
     make_criterion,
     make_executor,
@@ -83,6 +95,12 @@ __all__ = [
     "SolverSession",
     "CacheStats",
     "matrix_fingerprint",
+    "SolverService",
+    "MatrixHandle",
+    "SolveFuture",
+    "ServiceStats",
+    "ServiceClosed",
+    "asolve",
     "register_solver",
     "register_criterion",
     "register_tree",

@@ -1,13 +1,13 @@
 """Public API subsystem: plugin registries, declarative solver specs, the
-``repro.solve`` / ``repro.factor`` facades, and the ``SolverSession``
-serving layer.
+``repro.solve`` / ``repro.factor`` facades, the ``SolverSession`` serving
+layer, and the asynchronous ``SolverService`` on top of it.
 
 The registry module is imported eagerly (it is a stdlib-only leaf that the
 built-in criterion/tree/solver/executor modules import at class-definition
-time to self-register).  The facade and session modules import those
-built-ins back, so they are loaded lazily through module ``__getattr__`` —
-this keeps ``repro.api.registry`` importable from anywhere inside the
-package without a cycle.
+time to self-register).  The facade, session, and service modules import
+those built-ins back, so they are loaded lazily through module
+``__getattr__`` — this keeps ``repro.api.registry`` importable from
+anywhere inside the package without a cycle.
 """
 
 from .registry import (
@@ -47,6 +47,12 @@ __all__ = [
     "SolverSession",
     "CacheStats",
     "matrix_fingerprint",
+    "SolverService",
+    "MatrixHandle",
+    "SolveFuture",
+    "ServiceStats",
+    "ServiceClosed",
+    "asolve",
 ]
 
 _FACADE_NAMES = {
@@ -60,6 +66,14 @@ _FACADE_NAMES = {
     "factor",
 }
 _SESSION_NAMES = {"SolverSession", "CacheStats", "matrix_fingerprint"}
+_SERVICE_NAMES = {
+    "SolverService",
+    "MatrixHandle",
+    "SolveFuture",
+    "ServiceStats",
+    "ServiceClosed",
+    "asolve",
+}
 
 
 def __getattr__(name: str):
@@ -71,8 +85,14 @@ def __getattr__(name: str):
         from . import session
 
         return getattr(session, name)
+    if name in _SERVICE_NAMES:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | _FACADE_NAMES | _SESSION_NAMES)
+    return sorted(
+        set(globals()) | _FACADE_NAMES | _SESSION_NAMES | _SERVICE_NAMES
+    )

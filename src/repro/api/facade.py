@@ -72,7 +72,7 @@ class SolverSpec:
     """
 
     algorithm: Any = "hybrid"
-    tile_size: int = DEFAULT_TILE_SIZE
+    tile_size: Optional[int] = DEFAULT_TILE_SIZE
     criterion: Any = None
     intra_tree: Any = None
     inter_tree: Any = None
@@ -210,11 +210,19 @@ def make_solver(spec: Any = None, **kwargs: Any):
 
     params = inspect.signature(solver_cls.__init__).parameters
     build_kwargs: Dict[str, Any] = {}
+    # ``tile_size=None`` means "the algorithm's own default", mirroring how
+    # ``criterion``/``intra_tree`` treat ``None``: omit the argument when
+    # the constructor declares a default, and fall back to the facade
+    # default for the built-ins (whose tile_size is required).
+    if "tile_size" in params:
+        if spec.tile_size is not None:
+            build_kwargs["tile_size"] = int(spec.tile_size)
+        elif params["tile_size"].default is inspect.Parameter.empty:
+            build_kwargs["tile_size"] = DEFAULT_TILE_SIZE
     # Base arguments every built-in accepts; a user-registered solver with
     # a narrower signature only gets the ones it declares, and explicitly
     # configuring one it lacks is a spec error rather than a TypeError.
     for key, value, default in (
-        ("tile_size", int(spec.tile_size), int(spec.tile_size)),
         ("grid", make_grid(spec.grid), None),
         ("track_growth", bool(spec.track_growth), True),
     ):

@@ -1,0 +1,602 @@
+"""``SolverService`` — the asynchronous, handle-based serving API.
+
+The synchronous :class:`~repro.api.session.SolverSession` amortizes
+factorizations across requests, but it still blocks the caller for every
+solve and re-hashes the matrix on every request.  The service layer mirrors
+the paper's submit-tasks-then-progress execution model at the API surface:
+
+* :meth:`SolverService.register` fingerprints a matrix **once** and returns
+  a cheap :class:`MatrixHandle`, so the hot path stops paying an O(n^2)
+  SHA-256 per request;
+* :meth:`SolverService.submit` is non-blocking — it enqueues the request
+  and returns a :class:`SolveFuture`.  A background dispatcher thread
+  drains the queue and **coalesces every pending request against the same
+  matrix into one multi-column back-substitution pass** (the serving-layer
+  analogue of the one-factorization-many-columns ``solve_many`` of
+  Section II-D1), then resolves the per-request futures;
+* :class:`SolveFuture` bridges both worlds: blocking ``result()`` for
+  threads and ``__await__`` for asyncio, with :func:`asolve` as the
+  coroutine-shaped top-level facade.
+
+Coalesced results are **bit-identical** to the synchronous serving path:
+the dispatcher serves every batch — including singletons — through
+:meth:`SolverSession.solve_many`, stacking the pending right-hand sides in
+submission order, so a coalesced column is byte-for-byte the column
+``SolverSession`` itself would produce for the same batch.
+
+Lifecycle: the service is a context manager; :meth:`drain` blocks until
+the queue is empty, :meth:`shutdown` (also invoked by ``__exit__``) stops
+accepting work, serves or fails what is queued, joins the dispatcher, and
+closes the solver's executor when the service built it (duck-typed —
+the built-in executors hold no per-instance resources, but a registered
+executor with a persistent pool exposing ``close()``/``shutdown()`` is
+released here).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.factorization import SolveResult
+from .session import SolverSession, matrix_fingerprint
+
+__all__ = [
+    "MatrixHandle",
+    "ServiceClosed",
+    "ServiceStats",
+    "SolveFuture",
+    "SolverService",
+    "asolve",
+]
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A registered matrix: its fingerprint plus a private validated copy.
+
+    Handles are cheap to pass around — equality and hashing use only the
+    fingerprint — and decouple the service from caller-side mutation: the
+    stored matrix is a read-only copy taken at registration time, so the
+    fingerprint can never drift out of sync with the data it describes.
+    """
+
+    key: str
+    matrix: np.ndarray = field(repr=False, compare=False)
+
+    @property
+    def n(self) -> int:
+        """Order of the registered (square) matrix."""
+        return self.matrix.shape[0]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+
+class SolveFuture:
+    """Result of a submitted solve: thread-blocking *and* awaitable.
+
+    ``result()`` / ``exception()`` block like
+    :class:`concurrent.futures.Future`; ``await future`` suspends the
+    calling coroutine instead (the resolution is transferred onto the
+    awaiting event loop with ``call_soon_threadsafe``).  A future resolves
+    exactly once — to one :class:`~repro.core.factorization.SolveResult`
+    for a 1-D right-hand side, to a list of them (one per column) for a
+    2-D block, or to the exception the batch raised.
+    """
+
+    __slots__ = ("_event", "_lock", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SolveFuture"], None]] = []
+
+    def done(self) -> bool:
+        """True once the future is resolved (result or exception)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until resolved; return the result or raise its exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"solve future not resolved within {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block until resolved; return the exception (or ``None``)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"solve future not resolved within {timeout}s")
+        return self._exception
+
+    def add_done_callback(self, fn: Callable[["SolveFuture"], None]) -> None:
+        """Run ``fn(self)`` on resolution (immediately if already resolved)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _resolve(
+        self, result: Any = None, exception: Optional[BaseException] = None
+    ) -> None:
+        with self._lock:
+            if self._event.is_set():  # resolved exactly once
+                return
+            self._result = result
+            self._exception = exception
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:
+                # A broken callback must not take down the dispatcher (or
+                # starve the remaining callbacks), matching the tolerance
+                # of concurrent.futures.
+                pass
+
+    def __await__(self):
+        loop = asyncio.get_running_loop()
+        afut: "asyncio.Future[Any]" = loop.create_future()
+
+        def transfer(f: "SolveFuture") -> None:
+            def apply() -> None:
+                if afut.cancelled():
+                    return
+                if f._exception is not None:
+                    afut.set_exception(f._exception)
+                else:
+                    afut.set_result(f._result)
+
+            try:
+                loop.call_soon_threadsafe(apply)
+            except RuntimeError:
+                # The loop closed before the solve finished; there is no
+                # coroutine left to deliver to.
+                pass
+
+        self.add_done_callback(transfer)
+        return afut.__await__()
+
+
+@dataclass
+class ServiceStats:
+    """Dispatch counters of a :class:`SolverService`.
+
+    ``batches`` counts dispatcher passes; a batch that served more than one
+    request is a *coalesced* batch, and ``coalesced_requests`` counts the
+    requests that rode in one (``submitted - coalesced_requests`` went
+    through alone).  The cache-level picture (hits/misses per batch) lives
+    on ``service.session.stats``.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    coalesced_batches: int = 0
+    coalesced_requests: int = 0
+    max_batch_requests: int = 0
+    max_batch_columns: int = 0
+
+    @property
+    def pending(self) -> int:
+        return self.submitted - self.completed - self.failed
+
+    def snapshot(self) -> "ServiceStats":
+        return ServiceStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            batches=self.batches,
+            coalesced_batches=self.coalesced_batches,
+            coalesced_requests=self.coalesced_requests,
+            max_batch_requests=self.max_batch_requests,
+            max_batch_columns=self.max_batch_columns,
+        )
+
+
+@dataclass
+class _Request:
+    """One queued solve: where it goes, what it carries, who is waiting."""
+
+    seq: int
+    priority: int
+    handle: MatrixHandle
+    b: np.ndarray
+    ncols: int
+    future: SolveFuture
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by ``submit`` after shutdown, and set on futures it dropped."""
+
+
+class SolverService:
+    """Serve ``Ax = b`` requests asynchronously with request coalescing.
+
+    Parameters
+    ----------
+    solver:
+        Anything :class:`~repro.api.session.SolverSession` accepts — a
+        constructed solver, a :class:`~repro.api.facade.SolverSpec`, an
+        algorithm name, or ``None`` plus ``**spec_kwargs`` — **or** an
+        existing ``SolverSession`` to wrap (sharing its cache and stats).
+    capacity:
+        Factorization-cache capacity of the wrapped session (ignored when
+        an existing session is passed).
+    start:
+        Start the dispatcher thread immediately (default).  ``start=False``
+        delays it until :meth:`start` — useful for deterministic batch
+        composition in tests and benchmarks.
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> rng = np.random.default_rng(0)
+    >>> a = rng.standard_normal((64, 64)) + 8.0 * np.eye(64)
+    >>> with repro.SolverService(algorithm="lupp", tile_size=8) as svc:
+    ...     h = svc.register(a)                       # hash once
+    ...     futs = [svc.submit(h, rng.standard_normal(64)) for _ in range(4)]
+    ...     xs = [f.result().x for f in futs]         # resolved by dispatcher
+    >>> len(xs)
+    4
+    """
+
+    def __init__(
+        self,
+        solver: Any = None,
+        *,
+        capacity: Optional[int] = 8,
+        start: bool = True,
+        **spec_kwargs: Any,
+    ) -> None:
+        if isinstance(solver, SolverSession):
+            if spec_kwargs:
+                raise ValueError(
+                    "cannot combine an existing SolverSession with spec "
+                    f"keyword arguments {sorted(spec_kwargs)}"
+                )
+            self.session = solver
+            self._owns_solver = False
+        else:
+            self.session = SolverSession(solver, capacity=capacity, **spec_kwargs)
+            # The service owns the executor only when make_solver built the
+            # solver here (a prebuilt solver keeps its caller's executor).
+            self._owns_solver = not (
+                hasattr(solver, "factor") and hasattr(solver, "solve")
+            )
+        self.stats = ServiceStats()
+        self._cv = threading.Condition()
+        self._pending: List[_Request] = []
+        self._seq = itertools.count()
+        self._unfinished = 0
+        self._open = True
+        self._started = False
+        self._stop = False
+        self._executor_closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher", daemon=True
+        )
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, a: np.ndarray, *, warm: bool = False) -> MatrixHandle:
+        """Validate and fingerprint ``a`` once; return a cheap handle.
+
+        The handle stores a read-only copy of the validated matrix, so
+        later mutation of the caller's array cannot desynchronize the
+        fingerprint.  ``warm=True`` additionally pre-factors the matrix
+        (a cache miss now instead of on the first submit).
+        """
+        a = SolverSession._check_matrix(a).copy()
+        a.setflags(write=False)
+        handle = MatrixHandle(key=matrix_fingerprint(a), matrix=a)
+        if warm:
+            self.session.warm(handle.matrix, key=handle.key)
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        a: Any,
+        b: np.ndarray,
+        *,
+        priority: int = 0,
+    ) -> SolveFuture:
+        """Enqueue ``Ax = b`` and return a :class:`SolveFuture` immediately.
+
+        ``a`` is a :class:`MatrixHandle` (the fast path) or a raw matrix,
+        which is registered on the fly — paying the one-off O(n^2)
+        fingerprint this API exists to avoid, so hot callers should
+        :meth:`register` first.  ``b`` is one right-hand side (1-D, the
+        future resolves to a single ``SolveResult``) or a column block
+        (2-D, the future resolves to a list with one result per column).
+        Higher ``priority`` requests are dispatched first; the dispatcher
+        coalesces *all* queued requests against the chosen matrix —
+        whatever their priority — into one back-substitution pass.
+        """
+        if not self._open:
+            # Fast-fail before the O(n^2) copy/fingerprint of an on-the-fly
+            # registration; the authoritative check happens under the lock.
+            raise ServiceClosed("cannot submit to a shut-down SolverService")
+        handle = a if isinstance(a, MatrixHandle) else self.register(a)
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2):
+            raise ValueError(f"b must be 1-D or 2-D, got ndim={b.ndim}")
+        if b.shape[0] != handle.n:
+            raise ValueError(
+                f"b has {b.shape[0]} rows but the matrix has order {handle.n}"
+            )
+        ncols = 1 if b.ndim == 1 else b.shape[1]
+        if ncols == 0:
+            raise ValueError("b must carry at least one right-hand side column")
+        future = SolveFuture()
+        with self._cv:
+            if not self._open:
+                raise ServiceClosed("cannot submit to a shut-down SolverService")
+            self._pending.append(
+                _Request(
+                    seq=next(self._seq),
+                    priority=priority,
+                    handle=handle,
+                    b=b,
+                    ncols=ncols,
+                    future=future,
+                )
+            )
+            self.stats.submitted += 1
+            self._unfinished += 1
+            self._cv.notify_all()
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SolverService":
+        """Start the dispatcher thread (idempotent)."""
+        with self._cv:
+            if self._started:
+                return self
+            if not self._open:
+                raise ServiceClosed("cannot restart a shut-down SolverService")
+            # Started under the lock so anyone who observes _started=True is
+            # guaranteed the thread really started (a concurrent shutdown
+            # must never join a never-started thread).  Thread.start only
+            # waits for bootstrap, not for the target to make progress, so
+            # holding the condition here cannot deadlock.
+            self._thread.start()
+            self._started = True
+        return self
+
+    def _take_batch_locked(self) -> List[_Request]:
+        """Pop the next batch: highest-priority head, plus every pending
+        request against the same matrix (in submission order)."""
+        head = min(self._pending, key=lambda r: (-r.priority, r.seq))
+        key = head.handle.key
+        batch = [r for r in self._pending if r.handle.key == key]
+        self._pending = [r for r in self._pending if r.handle.key != key]
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._stop:
+                    self._cv.wait()
+                if not self._pending:  # stopping and fully drained
+                    return
+                batch = self._take_batch_locked()
+            self._serve(batch)
+
+    def _serve(self, batch: List[_Request]) -> None:
+        """One coalesced pass: stack the batch, solve, split, resolve."""
+        handle = batch[0].handle
+        try:
+            b_mat = np.hstack([r.b.reshape(handle.n, -1) for r in batch])
+            results = self.session.solve_many(
+                handle.matrix, b_mat, key=handle.key
+            )
+        except BaseException as exc:
+            for r in batch:
+                r.future._resolve(exception=exc)
+            with self._cv:
+                self.stats.failed += len(batch)
+                self._record_batch_locked(batch)
+                self._unfinished -= len(batch)
+                self._cv.notify_all()
+            return
+        values: List[Any] = []
+        offset = 0
+        for r in batch:
+            chunk = results[offset : offset + r.ncols]
+            offset += r.ncols
+            values.append(chunk[0] if r.b.ndim == 1 else list(chunk))
+        for r, value in zip(batch, values):
+            r.future._resolve(result=value)
+        with self._cv:
+            self.stats.completed += len(batch)
+            self._record_batch_locked(batch)
+            self._unfinished -= len(batch)
+            self._cv.notify_all()
+
+    def _record_batch_locked(self, batch: List[_Request]) -> None:
+        ncols = sum(r.ncols for r in batch)
+        self.stats.batches += 1
+        self.stats.max_batch_requests = max(
+            self.stats.max_batch_requests, len(batch)
+        )
+        self.stats.max_batch_columns = max(self.stats.max_batch_columns, ncols)
+        if len(batch) > 1:
+            self.stats.coalesced_batches += 1
+            self.stats.coalesced_requests += len(batch)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has resolved its future."""
+        with self._cv:
+            if not self._cv.wait_for(lambda: self._unfinished == 0, timeout):
+                raise TimeoutError(
+                    f"{self._unfinished} request(s) still unfinished after {timeout}s"
+                )
+
+    def clear(self) -> None:
+        """Drop the wrapped session's factorization cache (see
+        :meth:`SolverSession.clear`); in-flight requests still resolve."""
+        self.session.clear()
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service (idempotent).
+
+        ``wait=True`` (default) serves everything already queued before the
+        dispatcher exits; ``wait=False`` fails the queued futures with
+        :class:`ServiceClosed` instead.  Either way no new submissions are
+        accepted afterwards, and an executor the service built (including
+        one supplied via ``REPRO_EXECUTOR``) is closed if it exposes
+        ``close()`` or ``shutdown()``.
+        """
+        with self._cv:
+            self._open = False
+            self._stop = True
+            if not wait:
+                dropped, self._pending = self._pending, []
+                self.stats.failed += len(dropped)
+                self._unfinished -= len(dropped)
+            else:
+                dropped = []
+            # A never-started service shutting down with queued work runs
+            # the dispatcher just long enough to drain it (the loop exits
+            # once the queue is empty and the stop flag is up).
+            if wait and not self._started and self._pending:
+                self._thread.start()
+                self._started = True
+            started = self._started
+            self._cv.notify_all()
+        for r in dropped:
+            r.future._resolve(exception=ServiceClosed("SolverService shut down"))
+        if started:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                # join timed out with a batch still in flight: closing the
+                # executor now would tear it down under that batch, so the
+                # close is left for a later (fully drained) shutdown call.
+                return
+        with self._cv:
+            close_executor = self._owns_solver and not self._executor_closed
+            self._executor_closed = True
+        if close_executor:
+            executor = getattr(self.session.solver, "executor", None)
+            close = getattr(executor, "close", None) or getattr(
+                executor, "shutdown", None
+            )
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return (
+            f"<SolverService {state} pending={self.stats.pending} "
+            f"batches={self.stats.batches} solver={self.session.solver.algorithm!r}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# asyncio facade
+# --------------------------------------------------------------------------- #
+_DEFAULT_SERVICES: Dict[Any, SolverService] = {}
+_DEFAULT_SERVICES_LOCK = threading.Lock()
+
+
+def _spec_cache_key(value: Any) -> Any:
+    """A value-based cache key for a declarative spec, or ``TypeError``.
+
+    Only declarative pieces (strings, numbers, and containers of them) key
+    the process-wide default-service cache.  Constructed objects are
+    rejected: their ``repr`` is typically identity-based, so a handler
+    building one per request would silently leak a new service (and
+    dispatcher thread) per call instead of coalescing.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_spec_cache_key(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            (k, _spec_cache_key(v)) for k, v in sorted(value.items())
+        )
+    raise TypeError(
+        f"asolve without an explicit service needs a declarative spec "
+        f"(strings/numbers), got {type(value).__name__}; construct a "
+        f"SolverService yourself and pass service=..."
+    )
+
+
+def _default_service(spec: Any, kwargs: Dict[str, Any]) -> SolverService:
+    """Process-wide service per solver configuration (so concurrent
+    ``asolve`` calls with the same spec share one queue and coalesce)."""
+    cache_key = (_spec_cache_key(spec), _spec_cache_key(kwargs))
+    with _DEFAULT_SERVICES_LOCK:
+        service = _DEFAULT_SERVICES.get(cache_key)
+        if service is None:
+            service = SolverService(spec, **kwargs)
+            _DEFAULT_SERVICES[cache_key] = service
+        return service
+
+
+@atexit.register
+def _shutdown_default_services() -> None:
+    with _DEFAULT_SERVICES_LOCK:
+        services = list(_DEFAULT_SERVICES.values())
+        _DEFAULT_SERVICES.clear()
+    for service in services:
+        service.shutdown(wait=False)
+
+
+async def asolve(
+    a: Any,
+    b: np.ndarray,
+    *,
+    service: Optional[SolverService] = None,
+    priority: int = 0,
+    spec: Any = None,
+    **spec_kwargs: Any,
+) -> SolveResult:
+    """Asynchronously solve ``Ax = b``: ``x = await repro.asolve(a, b)``.
+
+    Submits to ``service`` when given; otherwise to a lazily created
+    process-wide default service for the requested solver configuration
+    (``spec`` / ``**spec_kwargs`` exactly as :func:`repro.make_solver`
+    takes them), so concurrent ``asolve`` callers against the same matrix
+    coalesce into one back-substitution pass.  ``a`` may be a
+    :class:`MatrixHandle` to skip the per-call fingerprint.
+    """
+    if service is None:
+        service = _default_service(spec, spec_kwargs)
+    elif spec is not None or spec_kwargs:
+        raise ValueError(
+            "cannot combine an explicit service with solver spec arguments"
+        )
+    return await service.submit(a, b, priority=priority)

@@ -175,10 +175,21 @@ class SolverSession:
             self.stats = CacheStats()
             self._generation += 1
 
-    def cached_factorization(self, a: np.ndarray) -> Optional[Factorization]:
-        """The cached factorization for ``A``, or ``None`` (no stats impact)."""
+    def cached_factorization(
+        self, a: Optional[np.ndarray] = None, *, key: Optional[str] = None
+    ) -> Optional[Factorization]:
+        """The cached factorization for ``A``, or ``None`` (no stats impact).
+
+        Accepts either the matrix itself (validated and fingerprinted like
+        :meth:`solve`) or a precomputed ``key`` — e.g. from a
+        :class:`~repro.api.service.MatrixHandle` — which skips both.
+        """
+        if key is None:
+            if a is None:
+                raise ValueError("cached_factorization needs a matrix or a key")
+            key = matrix_fingerprint(self._check_matrix(a))
         with self._lock:
-            entry = self._cache.get(matrix_fingerprint(np.asarray(a, dtype=np.float64)))
+            entry = self._cache.get(key)
         return entry.factorization if entry is not None else None
 
     def _lookup_hit(self, key: str) -> Optional[_CacheEntry]:
@@ -261,10 +272,12 @@ class SolverSession:
         self._insert(key, entry, elapsed, generation)
         return entry
 
-    def warm(self, a: np.ndarray) -> Factorization:
+    def warm(self, a: np.ndarray, *, key: Optional[str] = None) -> Factorization:
         """Pre-factor ``A`` (counting a miss if absent) and return the factors."""
         a = self._check_matrix(a)
-        return self._get_or_factor(a, matrix_fingerprint(a)).factorization
+        if key is None:
+            key = matrix_fingerprint(a)
+        return self._get_or_factor(a, key).factorization
 
     @staticmethod
     def _check_matrix(a: np.ndarray) -> np.ndarray:
@@ -281,6 +294,8 @@ class SolverSession:
         a: np.ndarray,
         b: np.ndarray,
         x_true: Optional[np.ndarray] = None,
+        *,
+        key: Optional[str] = None,
     ) -> SolveResult:
         """Solve ``Ax = b``, reusing the cached factorization of ``A``.
 
@@ -288,12 +303,18 @@ class SolverSession:
         miss); every further request applies the cached right-hand-side
         operator and back-substitutes.  Shapes mirror
         :meth:`TiledSolverBase.solve`: a 1-D ``b`` yields a 1-D solution.
+
+        ``key`` is a precomputed :func:`matrix_fingerprint` of ``a``
+        (callers vouch for the correspondence — a
+        :class:`~repro.api.service.MatrixHandle` carries exactly this
+        pair); passing it skips the per-request O(n^2) re-hash, which is
+        the dominant cost of a cache hit on large matrices.
         """
         a = self._check_matrix(a)
         b = np.asarray(b, dtype=np.float64)
         if b.shape[0] != a.shape[0]:
             raise ValueError(f"b has {b.shape[0]} rows but A has order {a.shape[0]}")
-        entry = self._get_or_factor(a, matrix_fingerprint(a))
+        entry = self._get_or_factor(a, key if key is not None else matrix_fingerprint(a))
 
         b2 = b.reshape(a.shape[0], -1)
         x2 = self._back_substitute(entry, b2)
@@ -309,8 +330,16 @@ class SolverSession:
         a: np.ndarray,
         bs: Union[np.ndarray, Sequence[np.ndarray]],
         x_true: Optional[np.ndarray] = None,
+        *,
+        key: Optional[str] = None,
     ) -> List[SolveResult]:
-        """Batched variant: one cache lookup, one back-substitution pass."""
+        """Batched variant: one cache lookup, one back-substitution pass.
+
+        This is the entry point the :class:`~repro.api.service.SolverService`
+        dispatcher uses to serve a coalesced batch: ``key`` (the handle's
+        precomputed fingerprint) skips the O(n^2) re-hash, and the whole
+        batch is one cache lookup plus one multi-column back-substitution.
+        """
         a = self._check_matrix(a)
         if isinstance(bs, np.ndarray):
             b_mat = np.asarray(bs, dtype=np.float64)
@@ -349,7 +378,7 @@ class SolverSession:
                     f"have shape {b_mat.shape}"
                 )
 
-        entry = self._get_or_factor(a, matrix_fingerprint(a))
+        entry = self._get_or_factor(a, key if key is not None else matrix_fingerprint(a))
         x = self._back_substitute(entry, b_mat)
         fact = entry.factorization
         with self._lock:

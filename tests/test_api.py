@@ -201,6 +201,33 @@ class TestMakeSolver:
         with pytest.raises(ValueError, match="accepted:"):
             make_solver(algorithm="hybrid", tile_size=8, warp_speed=9)
 
+    def test_tile_size_none_uses_facade_default(self):
+        """Regression: ``tile_size=None`` used to crash with ``int(None)``."""
+        from repro.api.facade import DEFAULT_TILE_SIZE
+
+        solver = make_solver("lupp", tile_size=None)
+        assert solver.tile_size == DEFAULT_TILE_SIZE
+        # also through the spec-dataclass path
+        assert make_solver(SolverSpec(algorithm="hybrid", tile_size=None)
+                           ).tile_size == DEFAULT_TILE_SIZE
+
+    def test_tile_size_none_keeps_plugin_constructor_default(self):
+        """``None`` means the *algorithm's* default when one is declared."""
+        @repro.register_solver("defaulted_tile_test_only")
+        class DefaultedSolver:
+            algorithm = "defaulted"
+
+            def __init__(self, tile_size=17):
+                self.tile_size = tile_size
+
+        try:
+            assert make_solver("defaulted_tile_test_only",
+                               tile_size=None).tile_size == 17
+            assert make_solver("defaulted_tile_test_only",
+                               tile_size=8).tile_size == 8
+        finally:
+            SOLVERS.unregister("defaulted_tile_test_only")
+
     def test_plugin_solver_with_narrow_signature(self):
         @repro.register_solver("narrow_test_only")
         class NarrowSolver:

@@ -207,6 +207,71 @@ class TestSessionCache:
         assert session.stats.hit_rate == pytest.approx(2 / 3)
 
 
+class TestPrecomputedKey:
+    """The ``key=`` kwarg skips the per-request O(n^2) re-hash."""
+
+    def test_solve_with_key_skips_fingerprint(self, rng, session, monkeypatch):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        key = matrix_fingerprint(a)
+        session.warm(a, key=key)
+
+        def boom(_):
+            raise AssertionError("matrix_fingerprint called despite key=")
+
+        monkeypatch.setattr("repro.api.session.matrix_fingerprint", boom)
+        b = rng.standard_normal(n)
+        r = session.solve(a, b, key=key)
+        assert session.stats.hits == 1
+        np.testing.assert_allclose(a @ r.x, b, atol=1e-8)
+        results = session.solve_many(a, rng.standard_normal((n, 2)), key=key)
+        assert len(results) == 2
+        assert session.stats.hits == 2
+
+    def test_key_and_plain_path_share_the_entry(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        fact = session.warm(a, key=matrix_fingerprint(a))
+        r = session.solve(a, rng.standard_normal(n))  # no key: hashes, same entry
+        assert r.factorization is fact
+        assert session.stats.misses == 1
+        assert session.stats.hits == 1
+
+    def test_solve_with_key_matches_plain_solve(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        b = rng.standard_normal(n)
+        key = matrix_fingerprint(a)
+        plain = session.solve(a, b)
+        keyed = session.solve(a, b, key=key)
+        np.testing.assert_array_equal(plain.x, keyed.x)
+
+
+class TestCachedFactorization:
+    def test_validates_like_solve(self, rng, session):
+        """Regression: it used to bypass ``_check_matrix`` entirely."""
+        with pytest.raises(ValueError, match="square"):
+            session.cached_factorization(np.ones((4, 5)))
+
+    def test_key_only_lookup(self, rng, session):
+        n = 48
+        a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+        key = matrix_fingerprint(a)
+        assert session.cached_factorization(key=key) is None
+        fact = session.warm(a)
+        assert session.cached_factorization(key=key) is fact
+
+    def test_requires_matrix_or_key(self, session):
+        with pytest.raises(ValueError, match="matrix or a key"):
+            session.cached_factorization()
+
+    def test_integer_dtype_matrix_matches_solve_path(self, rng, session):
+        """dtype coercion now mirrors ``solve``/``warm`` (via _check_matrix)."""
+        a = np.eye(16, dtype=np.int64) * 4
+        session.warm(a)
+        assert session.cached_factorization(a) is not None
+
+
 class _InstrumentedSolver:
     """Wraps a real solver to observe (and stall) its ``factor`` calls."""
 
