@@ -54,6 +54,16 @@ _INLINE_EXECUTORS = {"none", "inline", "off"}
 #: the whole suite on the multi-process backend, as the CI matrix does).
 _EXECUTOR_ENV = "REPRO_EXECUTOR"
 
+#: The facade resolves ``"auto"`` itself (through the autotuner) before
+#: the executor registry is consulted; reserving the name keeps plugins
+#: from shadowing it and makes ``EXECUTORS.get("auto")`` self-explanatory.
+EXECUTORS.reserve(
+    "auto",
+    "resolved by the facade from the calibrated performance model; pass "
+    "executor='auto' to make_solver/solve/factor instead of creating it "
+    "from the registry",
+)
+
 
 @dataclass
 class SolverSpec:
@@ -69,16 +79,27 @@ class SolverSpec:
     ``options`` holds algorithm-specific keyword arguments (for example
     ``domain_pivoting=False`` for the hybrid solver); they are validated
     against the algorithm's constructor signature when the solver is built.
+
+    ``tile_size`` and ``executor`` additionally accept the string
+    ``"auto"``: the facade then consults the autotuner
+    (:func:`repro.perf.autotune.autotune_config`), which predicts
+    makespans under this host's calibrated cost model — or applies its
+    documented deterministic fallback when no calibration exists.
+    ``size_hint`` is the matrix order those predictions are made for;
+    :func:`solve` and :func:`factor` fill it in from the matrix itself,
+    so it only needs to be passed when calling :func:`make_solver`
+    directly with ``"auto"`` fields.
     """
 
     algorithm: Any = "hybrid"
-    tile_size: Optional[int] = DEFAULT_TILE_SIZE
+    tile_size: Any = DEFAULT_TILE_SIZE
     criterion: Any = None
     intra_tree: Any = None
     inter_tree: Any = None
     grid: Any = None
     executor: Any = None
     track_growth: bool = True
+    size_hint: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -133,6 +154,35 @@ def make_grid(spec: Any) -> Optional[ProcessGrid]:
     )
 
 
+def _is_auto(value: Any) -> bool:
+    return isinstance(value, str) and value.strip().lower() == "auto"
+
+
+def _resolve_auto(spec: "SolverSpec") -> "SolverSpec":
+    """Replace ``"auto"`` tile size / executor with the autotuner's choice.
+
+    One :func:`~repro.perf.autotune.autotune_config` call serves both
+    fields so the pair is consistent (the tile size that wins is the one
+    predicted under the executor that wins).  An auto-resolved inline
+    executor becomes the explicit ``"none"`` spec rather than ``None`` —
+    the autotuner made a decision, so the ``REPRO_EXECUTOR`` environment
+    fallback must not override it.
+    """
+    tile_auto = _is_auto(spec.tile_size)
+    exec_auto = _is_auto(spec.executor)
+    if not (tile_auto or exec_auto):
+        return spec
+    from ..perf.autotune import autotune_config  # lazy: perf pulls in numpy
+
+    tuned = autotune_config(spec.size_hint)
+    changes: Dict[str, Any] = {}
+    if tile_auto:
+        changes["tile_size"] = tuned.tile_size
+    if exec_auto:
+        changes["executor"] = tuned.executor if tuned.executor is not None else "none"
+    return replace(spec, **changes)
+
+
 # --------------------------------------------------------------------------- #
 # Solver assembly
 # --------------------------------------------------------------------------- #
@@ -180,8 +230,13 @@ def make_solver(spec: Any = None, **kwargs: Any):
     Raises :class:`ValueError` when the algorithm name is unknown (listing
     the registered names) or when a component is specified that the chosen
     algorithm does not accept (e.g. a criterion for a pure baseline).
+
+    ``tile_size="auto"`` / ``executor="auto"`` delegate the choice to the
+    autotuner (see :class:`SolverSpec`); pass ``size_hint=<matrix order>``
+    so the prediction targets the matrix you are about to factor.
     """
     spec = _normalize_spec(spec, kwargs)
+    spec = _resolve_auto(spec)
 
     algorithm = spec.algorithm
     extra_options: Dict[str, Any] = dict(spec.options)
@@ -266,6 +321,17 @@ def make_solver(spec: Any = None, **kwargs: Any):
 # --------------------------------------------------------------------------- #
 # Top-level facades
 # --------------------------------------------------------------------------- #
+def _default_size_hint(spec: Any, kwargs: Dict[str, Any], a: np.ndarray) -> None:
+    """Default the autotuner's ``size_hint`` to the order of ``a``.
+
+    An explicit hint — in ``kwargs`` or carried by a ``SolverSpec``/dict —
+    wins; the matrix the caller handed over is only the default.
+    """
+    if isinstance(spec, SolverSpec) and spec.size_hint is not None:
+        return
+    if isinstance(spec, dict) and spec.get("size_hint") is not None:
+        return
+    kwargs.setdefault("size_hint", int(a.shape[0]))
 def solve(
     a: np.ndarray,
     b: np.ndarray,
@@ -281,7 +347,11 @@ def solve(
     its :meth:`~repro.core.solver_base.TiledSolverBase.solve` — the result
     is bit-identical to hand-constructing the same solver.  Returns a
     :class:`~repro.core.factorization.SolveResult`.
+
+    The matrix order is passed to the autotuner as the ``size_hint``, so
+    ``tile_size="auto"`` / ``executor="auto"`` tune for this very matrix.
     """
+    _default_size_hint(spec, kwargs, a)
     return make_solver(spec, **kwargs).solve(a, b, x_true=x_true)
 
 
@@ -294,6 +364,8 @@ def factor(
 ):
     """Factor ``[A | b]`` with a declaratively configured solver.
 
-    Returns the :class:`~repro.core.factorization.Factorization`.
+    Returns the :class:`~repro.core.factorization.Factorization`.  Like
+    :func:`solve`, fills the autotuner's ``size_hint`` from the matrix.
     """
+    _default_size_hint(spec, kwargs, a)
     return make_solver(spec, **kwargs).factor(a, b)

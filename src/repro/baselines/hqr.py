@@ -49,9 +49,14 @@ class HQRSolver(TiledSolverBase):
         inter_tree: Optional[ReductionTree] = None,
         track_growth: bool = True,
         executor: Optional[Executor] = None,
+        lookahead: int = 1,
     ) -> None:
         super().__init__(
-            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+            tile_size=tile_size,
+            grid=grid,
+            track_growth=track_growth,
+            executor=executor,
+            lookahead=lookahead,
         )
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
         self.inter_tree = inter_tree if inter_tree is not None else FibonacciTree()

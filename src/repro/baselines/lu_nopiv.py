@@ -49,9 +49,14 @@ class LUNoPivSolver(TiledSolverBase):
         domain_pivoting: bool = False,
         track_growth: bool = True,
         executor: Optional[Executor] = None,
+        lookahead: int = 1,
     ) -> None:
         super().__init__(
-            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+            tile_size=tile_size,
+            grid=grid,
+            track_growth=track_growth,
+            executor=executor,
+            lookahead=lookahead,
         )
         self.domain_pivoting = bool(domain_pivoting)
 

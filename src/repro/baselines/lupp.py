@@ -40,9 +40,14 @@ class LUPPSolver(TiledSolverBase):
         grid: Optional[ProcessGrid] = None,
         track_growth: bool = True,
         executor: Optional[Executor] = None,
+        lookahead: int = 1,
     ) -> None:
         super().__init__(
-            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+            tile_size=tile_size,
+            grid=grid,
+            track_growth=track_growth,
+            executor=executor,
+            lookahead=lookahead,
         )
 
     def _plan_step(

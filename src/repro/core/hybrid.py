@@ -96,9 +96,14 @@ class HybridLUQRSolver(TiledSolverBase):
         recursive_panel: bool = True,
         track_growth: bool = True,
         executor: Optional[Executor] = None,
+        lookahead: int = 1,
     ) -> None:
         super().__init__(
-            tile_size=tile_size, grid=grid, track_growth=track_growth, executor=executor
+            tile_size=tile_size,
+            grid=grid,
+            track_growth=track_growth,
+            executor=executor,
+            lookahead=lookahead,
         )
         self.criterion = criterion if criterion is not None else MaxCriterion(alpha=1.0)
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()

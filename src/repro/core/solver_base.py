@@ -32,8 +32,14 @@ import numpy as np
 
 from ..linalg.pivoting import SingularPanelError
 from ..runtime.executor import ExecutionTrace, SequentialExecutor, ThreadedExecutor
+from ..runtime.graph import TaskGraph
 from ..runtime.process_executor import ProcessExecutor
-from ..runtime.schedule import KernelTask, run_step_tasks, written_tiles
+from ..runtime.schedule import (
+    KernelTask,
+    StepPipeline,
+    run_step_tasks,
+    written_tiles,
+)
 from ..stability.growth import GrowthTracker
 from ..stability.metrics import stability_report
 from ..tiles.distribution import BlockCyclicDistribution, ProcessGrid
@@ -103,9 +109,19 @@ class TiledSolverBase(ABC):
         materialised in a shared-memory
         :class:`~repro.tiles.shared_buffer.SharedTileBuffer` for the
         duration of the factorization); when ``None`` (default) the kernels
-        run inline in program order.  Per-step
+        run inline in program order.  Per-flush
         :class:`~repro.runtime.executor.ExecutionTrace` objects of the
         last factorization are kept in ``step_traces``.
+    lookahead:
+        Cross-step lookahead depth used when an executor is configured
+        (ignored on the inline path).  The driver plans up to
+        ``lookahead + 1`` steps into one
+        :class:`~repro.runtime.schedule.StepPipeline` window before
+        draining it, so step ``k+1``'s panel tasks run concurrently with
+        step ``k``'s trailing update.  ``0`` restores strict step-at-a-time
+        execution; the default ``1`` is the classic panel/update overlap.
+        Results are bit-identical for every depth (the pipeline only
+        flushes dependency-closed task sets).
     """
 
     #: Name used in experiment tables; overridden by subclasses.
@@ -117,16 +133,27 @@ class TiledSolverBase(ABC):
         grid: Optional[ProcessGrid] = None,
         track_growth: bool = True,
         executor: Optional[Executor] = None,
+        lookahead: int = 1,
     ) -> None:
         if tile_size < 1:
             raise ValueError(f"tile_size must be positive, got {tile_size}")
+        if lookahead < 0:
+            raise ValueError(f"lookahead must be >= 0, got {lookahead}")
         self.tile_size = int(tile_size)
         self.grid = grid if grid is not None else ProcessGrid(1, 1)
         self.track_growth = bool(track_growth)
         self.executor = executor
-        #: Per-step execution traces of the last factorization (only
+        self.lookahead = int(lookahead)
+        #: Per-flush execution traces of the last factorization (only
         #: populated when an executor is configured).
         self.step_traces: List[ExecutionTrace] = []
+        #: Set to True to retain each flush's TaskGraph of the last
+        #: factorization in ``step_graphs`` (costs memory: the graphs hold
+        #: the kernel closures); used to replay a real execution through
+        #: the simulator, e.g. for calibration validation.
+        self.collect_step_graphs = False
+        self.step_graphs: List[TaskGraph] = []
+        self._pipeline: Optional[StepPipeline] = None
         self._norm_cache: Optional[np.ndarray] = None
         self._last_written = None
         # A solver instance carries per-factorization state (the norm
@@ -152,19 +179,46 @@ class TiledSolverBase(ABC):
     def _do_step(
         self, tiles: TileMatrix, dist: BlockCyclicDistribution, k: int
     ) -> StepRecord:
-        """Perform elimination step ``k`` in place and describe it.
+        """Perform elimination step ``k`` and describe it.
 
-        Default implementation: plan the step, then run its kernels inline
-        or on the configured executor.  Subclasses normally only implement
-        :meth:`_plan_step`; overriding ``_do_step`` directly opts out of
-        the dataflow execution path.
+        Default implementation: with an executor configured, drain from
+        the lookahead pipeline whatever planning step ``k`` needs, plan
+        the step, and submit its kernels to the pending window (they run
+        during a later ``advance`` or the final drain); on the inline path
+        the kernels simply run in program order.  Subclasses normally only
+        implement :meth:`_plan_step`; overriding ``_do_step`` directly
+        opts out of the dataflow execution path (and of the pipeline).
         """
+        if self.executor is not None:
+            if self._pipeline is None:
+                self._pipeline = StepPipeline(
+                    self.executor,
+                    tile_size=self.tile_size,
+                    lookahead=self.lookahead,
+                    calibration=self._calibration(),
+                    collect_graphs=self.collect_step_graphs,
+                )
+            self._pipeline.advance(k)
+            record, tasks = self._plan_step(tiles, dist, k)
+            self._pipeline.submit(
+                tasks, step=k, tiles=tiles if self.track_growth else None
+            )
+            return record
         record, tasks = self._plan_step(tiles, dist, k)
-        trace = run_step_tasks(tasks, executor=self.executor, step=k)
-        if trace is not None:
-            self.step_traces.append(trace)
+        run_step_tasks(tasks, executor=None, step=k)
         self._last_written = written_tiles(tasks)
         return record
+
+    def _calibration(self):
+        """Calibrated cost model for scheduling priorities, if one exists.
+
+        Lazily loads the per-host calibration file
+        (:func:`repro.perf.calibrate.default_calibration`); priorities fall
+        back to static Table-I flop counts when no calibration exists.
+        """
+        from ..perf.calibrate import default_calibration
+
+        return default_calibration()
 
     def _criterion_name(self) -> Optional[str]:
         return None
@@ -215,6 +269,8 @@ class TiledSolverBase(ABC):
         dist = BlockCyclicDistribution(self.grid, tiles.n)
         self._reset()
         self.step_traces = []
+        self.step_graphs = []
+        self._pipeline = None
 
         growth: Optional[GrowthTracker] = None
         if self.track_growth:
@@ -234,15 +290,33 @@ class TiledSolverBase(ABC):
                     breakdown = f"step {k}: {exc}"
                     break
                 steps.append(record)
-                if growth is not None:
+                # Under the pipeline the step's kernels have not run yet;
+                # growth is replayed from the pipeline's norm samples after
+                # the final drain instead.
+                if growth is not None and self._pipeline is None:
                     growth.record(self._active_region_max_norm(tiles, k))
         finally:
-            if shared is not None:
-                self.executor.unbind()
-                tiles = tiles.copy()  # move the factors out of shared memory
-                shared.close()
-                shared.unlink()
+            try:
+                pipeline = self._pipeline
+                if pipeline is not None:
+                    try:
+                        # Drain every pending task before the factors are
+                        # read (or copied out of shared memory) below.
+                        pipeline.flush_all()
+                    finally:
+                        self.step_traces.extend(pipeline.traces)
+                        if self.collect_step_graphs:
+                            self.step_graphs = list(pipeline.graphs)
+            finally:
+                if shared is not None:
+                    self.executor.unbind()
+                    tiles = tiles.copy()  # move the factors out of shared memory
+                    shared.close()
+                    shared.unlink()
 
+        if growth is not None and self._pipeline is not None:
+            self._replay_growth(growth, len(steps))
+        self._pipeline = None
         self._norm_cache = None
         self._last_written = None
         return Factorization(
@@ -356,6 +430,24 @@ class TiledSolverBase(ABC):
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+    def _replay_growth(self, growth: GrowthTracker, n_steps: int) -> None:
+        """Rebuild the per-step growth record from the pipeline's samples.
+
+        Each tile's norm was sampled by its last writer of each step (same
+        ``region_tile_norms`` code path as the inline bookkeeping), so
+        applying the samples step by step to the norm cache reproduces the
+        inline per-step record bit for bit, regardless of how the pipeline
+        interleaved the steps at execution time.
+        """
+        cache = self._norm_cache
+        if cache is None:  # pragma: no cover - growth implies a cache
+            return
+        samples = self._pipeline.norm_samples
+        for k in range(n_steps):
+            for (i, j), value in samples.get(k, {}).items():
+                cache[i, j] = value
+            growth.record(float(cache[k:, k:].max()))
+
     def _active_region_max_norm(self, tiles: TileMatrix, k: int) -> float:
         """Largest tile 1-norm over the region touched at/after step ``k``.
 

@@ -65,12 +65,20 @@ class KernelCall:
     produces:
         Key under which the operation's return value is published for
         downstream ``consumes``.
+    norm_tiles:
+        Tile coordinates whose 1-norms the worker samples right after the
+        operation (outside the timed window) and ships back with the
+        result.  The scheduler attaches these to the last writer of each
+        tile per elimination step so growth tracking stays exact — and
+        bit-identical to the inline path — even when cross-step lookahead
+        interleaves steps (the host cannot sample between steps then).
     """
 
     kernel: str
     args: Tuple[Any, ...] = ()
     consumes: Tuple[Any, ...] = ()
     produces: Optional[Any] = None
+    norm_tiles: Tuple[Tuple[int, int], ...] = ()
 
 
 #: Name -> operation table the worker resolves descriptors against.
@@ -286,12 +294,16 @@ def _tiles_for(meta: SharedBufferMeta) -> TileMatrix:
 
 def execute_kernel_call(
     meta: SharedBufferMeta, call: KernelCall, inputs: Tuple[Any, ...]
-) -> Tuple[Any, float, float, str]:
+) -> Tuple[Any, Optional[Tuple[float, ...]], float, float, str]:
     """Run one :class:`KernelCall` against the shared tiles (worker side).
 
-    Returns ``(result, start, finish, worker_name)`` where the timestamps
-    come from :func:`time.perf_counter` (system-wide monotonic on Linux, so
-    they are comparable across the worker processes of one node).
+    Returns ``(result, norms, start, finish, worker_name)`` where the
+    timestamps come from :func:`time.perf_counter` (system-wide monotonic
+    on Linux, so they are comparable across the worker processes of one
+    node) and ``norms`` holds the 1-norms of ``call.norm_tiles`` (``None``
+    when no sampling was requested).  The norms are computed after
+    ``finish`` is taken, so sampling never skews kernel timings used for
+    calibration.
     """
     tiles = _tiles_for(meta)
     try:
@@ -304,4 +316,13 @@ def execute_kernel_call(
     start = time.perf_counter()
     result = op(tiles, inputs, *call.args)
     finish = time.perf_counter()
-    return result, start, finish, current_process().name
+    norms: Optional[Tuple[float, ...]] = None
+    if call.norm_tiles:
+        # Same code path as the incremental norm cache of the tiled
+        # drivers (region_tile_norms over a 1x1 tile region), so the
+        # sampled values are bit-identical to the inline bookkeeping.
+        norms = tuple(
+            float(tiles.region_tile_norms(i, i + 1, j, j + 1)[0, 0])
+            for (i, j) in call.norm_tiles
+        )
+    return result, norms, start, finish, current_process().name

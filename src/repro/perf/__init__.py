@@ -1,6 +1,30 @@
-"""Performance modelling: normalised GFLOP/s on a simulated Dancer platform."""
+"""Performance modelling, online calibration, and autotuning.
+
+Three layers that close the loop between model and machine:
+
+* :mod:`repro.perf.model` — the paper's analytic layer: simulate a run on
+  a modelled platform and report normalised GFLOP/s (Figure 2, Table II);
+* :mod:`repro.perf.calibrate` — fit per-kernel cost models from the
+  execution traces of real factorizations on *this* host, persisted at
+  ``~/.cache/repro/calibration.json``;
+* :mod:`repro.perf.autotune` — use the calibrated model to pick tile size
+  and executor for the next factorization
+  (``make_solver(tile_size="auto", executor="auto")``).
+"""
 
 from ..runtime.platform import Platform, dancer_platform, laptop_platform
+from .autotune import TunedConfig, autotune_config, predicted_makespan
+from .calibrate import (
+    Calibration,
+    KernelCost,
+    calibrate_from_traces,
+    calibrated_platform,
+    calibration_path,
+    clear_calibration_cache,
+    collect_samples,
+    default_calibration,
+    run_calibration,
+)
 from .model import PerformanceModel, PerformanceReport
 
 __all__ = [
@@ -9,4 +33,16 @@ __all__ = [
     "laptop_platform",
     "PerformanceModel",
     "PerformanceReport",
+    "Calibration",
+    "KernelCost",
+    "calibrate_from_traces",
+    "calibrated_platform",
+    "calibration_path",
+    "clear_calibration_cache",
+    "collect_samples",
+    "default_calibration",
+    "run_calibration",
+    "TunedConfig",
+    "autotune_config",
+    "predicted_makespan",
 ]

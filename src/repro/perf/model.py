@@ -14,6 +14,13 @@ even at equal hardware efficiency.  Table II additionally reports the
 graph of a run (from a numerical factorization or from an explicit spec),
 schedules it on a modelled platform with the discrete-event simulator, and
 converts the makespan into the fake/true GFLOP/s and %-of-peak columns.
+
+The model is no longer purely analytic.  Pass a
+:class:`~repro.perf.calibrate.Calibration` (fitted from real execution
+traces by :mod:`repro.perf.calibrate`) and every kernel the calibration
+has observed is priced at its *measured* per-core duration instead of the
+platform's paper-derived rates — the same predictions the autotuner and
+the critical-path scheduler consume online.
 """
 
 from __future__ import annotations
@@ -77,10 +84,17 @@ class PerformanceModel:
     platform:
         The platform model; defaults to the paper's Dancer cluster
         (16 nodes x 8 cores, 1091 GFLOP/s peak) on a 4x4 grid.
+    calibration:
+        Optional :class:`~repro.perf.calibrate.Calibration`; kernels it
+        has observed use their measured durations, the rest fall back to
+        the platform's analytic rates.
     """
 
-    def __init__(self, platform: Optional[Platform] = None) -> None:
+    def __init__(
+        self, platform: Optional[Platform] = None, calibration=None
+    ) -> None:
         self.platform = platform if platform is not None else dancer_platform()
+        self.calibration = calibration
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -88,7 +102,13 @@ class PerformanceModel:
     def simulate_spec(self, spec: FactorizationSpec) -> PerformanceReport:
         """Simulate a run described by an explicit spec."""
         graph = build_task_graph(spec, platform=self.platform)
-        sim = simulate(graph, self.platform, spec.tile_size, record_schedule=False)
+        sim = simulate(
+            graph,
+            self.platform,
+            spec.tile_size,
+            record_schedule=False,
+            calibration=self.calibration,
+        )
         return self._report(spec, graph_task_count=len(graph), sim=sim)
 
     def simulate_factorization(

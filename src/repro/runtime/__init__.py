@@ -25,7 +25,10 @@ from .process_executor import ProcessExecutor, shutdown_worker_pools
 from .platform import Platform, dancer_platform, laptop_platform
 from .schedule import (
     KernelTask,
+    StepPipeline,
+    assign_task_priorities,
     build_step_graph,
+    kernel_cost_fn,
     merge_traces,
     run_step_tasks,
     written_tiles,
@@ -38,10 +41,13 @@ __all__ = [
     "TileRef",
     "TaskGraph",
     "KernelTask",
+    "StepPipeline",
     "build_step_graph",
     "run_step_tasks",
     "merge_traces",
     "written_tiles",
+    "kernel_cost_fn",
+    "assign_task_priorities",
     "Platform",
     "dancer_platform",
     "laptop_platform",

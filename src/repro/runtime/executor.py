@@ -16,25 +16,37 @@ examples and tests can inspect the achieved parallelism.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..api.registry import register_executor
 from .graph import TaskGraph
+from .task import TileRef
 
 __all__ = ["ExecutionTrace", "SequentialExecutor", "ThreadedExecutor"]
 
 
 @dataclass
 class ExecutionTrace:
-    """Wall-clock trace of a real (non-simulated) task-graph execution."""
+    """Wall-clock trace of a real (non-simulated) task-graph execution.
+
+    Besides per-task timings, the trace records each task's kernel name
+    (``kernel_of_task``) so per-kernel cost calibration
+    (:mod:`repro.perf.calibrate`) can be fed from traces alone, and
+    optionally the tile norms sampled by the multi-process executor's
+    workers (``tile_norms``, used for exact growth tracking under
+    cross-step lookahead).
+    """
 
     start_times: Dict[int, float] = field(default_factory=dict)
     finish_times: Dict[int, float] = field(default_factory=dict)
     worker_of_task: Dict[int, str] = field(default_factory=dict)
+    kernel_of_task: Dict[int, str] = field(default_factory=dict)
+    tile_norms: Dict[int, Dict[TileRef, float]] = field(default_factory=dict)
     wall_time: float = 0.0
 
     @property
@@ -107,6 +119,7 @@ class SequentialExecutor:
                 task = graph.task(uid)
                 trace.start_times[uid] = time.perf_counter()
                 trace.worker_of_task[uid] = "main"
+                trace.kernel_of_task[uid] = task.kernel
                 try:
                     if task.fn is not None:
                         task.fn()
@@ -127,6 +140,13 @@ class ThreadedExecutor:
     ----------
     workers:
         Number of worker threads (cores of the simulated node).
+
+    Ready tasks are pulled from a priority-ordered set (largest
+    ``Task.priority`` first, submission order breaking ties), so a graph
+    whose priorities encode critical-path depth is executed along its
+    critical path whenever more tasks are ready than workers are free.
+    Priorities never relax dependencies: results stay bit-identical to the
+    sequential reference for any priority assignment.
 
     The trace of the most recent :meth:`run` call is kept in ``last_trace``
     so partial traces stay inspectable after a task error or a timeout.
@@ -154,19 +174,28 @@ class ThreadedExecutor:
         done = threading.Event()
         pending = {"count": len(tasks)}
         errors: List[BaseException] = []
+        # Ready tasks ordered by (-priority, uid): each pool dispatch pops
+        # the currently most critical ready task instead of a fixed one, so
+        # priorities take effect at the moment a worker frees up.
+        ready_heap: List[Tuple[float, int]] = []
 
         t_begin = time.perf_counter()
 
-        def execute(uid: int) -> None:
+        def dispatch() -> None:
             with lock:
-                if errors:
+                if errors or not ready_heap:
                     # A task already failed: abort cleanly without starting
                     # new work (successors of the failed task were never
-                    # released, and already-queued tasks drain here).
+                    # released, and already-queued dispatches drain here).
                     return
+                _, uid = heapq.heappop(ready_heap)
+            execute(uid)
+
+        def execute(uid: int) -> None:
             task = tasks[uid]
             trace.start_times[uid] = time.perf_counter()
             trace.worker_of_task[uid] = threading.current_thread().name
+            trace.kernel_of_task[uid] = task.kernel
             try:
                 if task.fn is not None:
                     task.fn()
@@ -179,7 +208,7 @@ class ThreadedExecutor:
                     done.set()
                 return
             trace.finish_times[uid] = time.perf_counter()
-            newly_ready: List[int] = []
+            n_ready = 0
             with lock:
                 pending["count"] -= 1
                 if pending["count"] == 0:
@@ -187,10 +216,11 @@ class ThreadedExecutor:
                 for succ in successors[uid]:
                     remaining[succ] -= 1
                     if remaining[succ] == 0:
-                        newly_ready.append(succ)
-            for succ in newly_ready:
+                        heapq.heappush(ready_heap, (-tasks[succ].priority, succ))
+                        n_ready += 1
+            for _ in range(n_ready):
                 try:
-                    pool.submit(execute, succ)
+                    pool.submit(dispatch)
                 except RuntimeError:
                     # The pool was shut down after an error/timeout in
                     # another task; drop the successor.
@@ -203,7 +233,9 @@ class ThreadedExecutor:
         completed = False
         try:
             for uid in initial:
-                pool.submit(execute, uid)
+                heapq.heappush(ready_heap, (-tasks[uid].priority, uid))
+            for _ in range(len(initial)):
+                pool.submit(dispatch)
             completed = done.wait(timeout=timeout)
         finally:
             # On timeout, do not block on tasks that may never return.

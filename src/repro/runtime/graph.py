@@ -13,7 +13,7 @@ drivers.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from .task import Task, TileRef
 
@@ -132,6 +132,41 @@ class TaskGraph:
                 if d >= t.uid:
                     raise ValueError(f"task {t.uid} depends on later task {d}")
         return [t.uid for t in self._tasks]
+
+    def blevels(
+        self, cost: Optional[Callable[[Task], float]] = None
+    ) -> Dict[int, float]:
+        """Bottom level of every task: its critical-path depth.
+
+        The b-level of a task is its own cost plus the longest-cost chain
+        of successors below it — the classic critical-path priority of
+        list scheduling (tasks on the critical path get the largest
+        values).  ``cost`` maps a task to its execution cost; when omitted
+        every task counts for 1.
+        """
+        succ = self.successors()
+        levels: Dict[int, float] = {}
+        for uid in reversed(self.topological_order()):
+            task = self._tasks[uid]
+            own = 1.0 if cost is None else float(cost(task))
+            below = max((levels[s] for s in succ[uid]), default=0.0)
+            levels[uid] = own + below
+        return levels
+
+    def assign_priorities(
+        self, cost: Optional[Callable[[Task], float]] = None
+    ) -> Dict[int, float]:
+        """Set every task's ``priority`` to its b-level and return the map.
+
+        Executors with a priority-ordered ready set then favour the
+        critical path: among simultaneously ready tasks, the one heading
+        the longest remaining dependency chain (under the given cost
+        model) starts first.
+        """
+        levels = self.blevels(cost)
+        for task in self._tasks:
+            task.priority = levels[task.uid]
+        return levels
 
     def critical_path_length(
         self, duration: Optional[Dict[int, float]] = None

@@ -33,6 +33,7 @@ start-up cost.
 from __future__ import annotations
 
 import atexit
+import heapq
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -152,6 +153,10 @@ class ProcessExecutor:
     bit-identical to the sequential reference: workers run the exact same
     kernel operations on the exact same float64 bytes.
 
+    Ready tasks are dispatched by descending ``Task.priority`` (submission
+    order breaking ties), with at most one in-flight task per worker so
+    the priority order is honoured at every dispatch decision.
+
     Like the threaded executor, the trace of the most recent :meth:`run`
     is kept in ``last_trace``; after a :exc:`TimeoutError` the in-flight
     worker processes keep running detached and the shared tiles must be
@@ -181,9 +186,14 @@ class ProcessExecutor:
     def bind(self, meta: SharedBufferMeta) -> None:
         """Target this thread's subsequent :meth:`run` calls at a segment."""
         self._binding.meta = meta
+        # Execution-time products (compact-WY factors, pivot pairs) live
+        # for the whole binding, not one run(): the lookahead pipeline may
+        # flush a producer in an earlier graph than its consumers.
+        self._binding.results = {}
 
     def unbind(self) -> None:
         self._binding.meta = None
+        self._binding.results = None
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -213,14 +223,27 @@ class ProcessExecutor:
         pool = _pool_for(self.workers, self.start_method)
         successors = graph.successors()
         remaining = {t.uid: len(t.deps) for t in tasks}
-        results: Dict[object, object] = {}
+        results = getattr(self._binding, "results", None)
+        if results is None:  # standalone run() without bind-scoped products
+            results = {}
         errors: List[BaseException] = []
         outstanding: Dict[object, int] = {}
+        # Ready tasks ordered by (-priority, uid).  At most one in-flight
+        # task per worker: keeping the surplus in the host-side heap (rather
+        # than the pool's FIFO queue) means a task that becomes ready while
+        # others wait is dispatched strictly by priority when a worker
+        # frees up, at the cost of one completion round-trip per refill.
+        ready_heap: List[Tuple[float, int]] = []
 
         def submit(uid: int) -> None:
             call = tasks[uid].call
             inputs = tuple(results[key] for key in call.consumes)
             outstanding[pool.submit(execute_kernel_call, meta, call, inputs)] = uid
+
+        def pump() -> None:
+            while ready_heap and len(outstanding) < self.workers:
+                _, uid = heapq.heappop(ready_heap)
+                submit(uid)
 
         initial = [t.uid for t in tasks if remaining[t.uid] == 0]
         if not initial:
@@ -230,7 +253,8 @@ class ProcessExecutor:
         deadline = None if timeout is None else t_begin + timeout
         try:
             for uid in initial:
-                submit(uid)
+                heapq.heappush(ready_heap, (-tasks[uid].priority, uid))
+            pump()
             while outstanding:
                 wait_for = None
                 if deadline is not None:
@@ -252,7 +276,7 @@ class ProcessExecutor:
                 for fut in done:
                     uid = outstanding.pop(fut)
                     try:
-                        value, start, finish, worker = fut.result()
+                        value, norms, start, finish, worker = fut.result()
                     except BaseException as exc:
                         # Stop releasing successors; already-submitted tasks
                         # drain through the wait loop.
@@ -261,7 +285,10 @@ class ProcessExecutor:
                     trace.start_times[uid] = start
                     trace.finish_times[uid] = finish
                     trace.worker_of_task[uid] = worker
+                    trace.kernel_of_task[uid] = tasks[uid].kernel
                     call = tasks[uid].call
+                    if norms is not None:
+                        trace.tile_norms[uid] = dict(zip(call.norm_tiles, norms))
                     if call.produces is not None:
                         results[call.produces] = value
                     if errors:
@@ -269,7 +296,11 @@ class ProcessExecutor:
                     for succ in successors[uid]:
                         remaining[succ] -= 1
                         if remaining[succ] == 0:
-                            submit(succ)
+                            heapq.heappush(
+                                ready_heap, (-tasks[succ].priority, succ)
+                            )
+                if not errors:
+                    pump()
         except BrokenProcessPool:
             # submit() raises synchronously on a pool whose worker died
             # between runs (OOM kill, external signal); evict it so the

@@ -10,12 +10,17 @@ the simulator performs greedy earliest-start list scheduling:
   (``latency + bytes/bandwidth`` per remote dependency);
 * each node owns ``cores`` identical workers; a ready task starts on the
   earliest available core of its owner node;
-* kernel durations come from the platform's per-kernel rates, or from the
-  explicit ``duration_hint`` of control/communication tasks.
+* kernel durations come from the explicit ``duration_hint`` of
+  control/communication tasks, else from a measured
+  :class:`~repro.perf.calibrate.Calibration` when one is passed, else
+  from the platform's analytic per-kernel rates.
 
 The result (makespan, per-node utilisation, communication volume, schedule
 trace) is what the performance model converts into the GFLOP/s numbers of
-Figure 2 and Table II.
+Figure 2 and Table II.  With a calibration the same machinery turns
+predictive: a simulated makespan estimates what a *measured* run on this
+host would take, which is what the autotuner
+(:mod:`repro.perf.autotune`) compares across candidate configurations.
 """
 
 from __future__ import annotations
@@ -70,9 +75,13 @@ class SimulationResult:
         return self.total_busy_time / capacity if capacity > 0 else 0.0
 
 
-def _task_duration(task: Task, platform: Platform) -> float:
+def _task_duration(task: Task, platform: Platform, tile_size: int, calibration) -> float:
     if task.duration_hint is not None:
         return float(task.duration_hint)
+    if calibration is not None:
+        measured = calibration.kernel_duration(task.kernel, tile_size)
+        if measured is not None and measured > 0.0:
+            return float(measured)
     return platform.kernel_duration(task.kernel, task.flops)
 
 
@@ -91,12 +100,17 @@ def simulate(
     platform: Platform,
     tile_size: int,
     record_schedule: bool = True,
+    calibration=None,
 ) -> SimulationResult:
     """Simulate the execution of ``graph`` on ``platform``.
 
     ``tile_size`` is needed to convert cross-node tile dependencies into
     message sizes.  Set ``record_schedule=False`` for large graphs when only
-    the makespan matters.
+    the makespan matters.  ``calibration`` (a
+    :class:`~repro.perf.calibrate.Calibration`) replaces the platform's
+    analytic rates with per-kernel durations measured on this host for
+    every kernel the calibration has observed; unobserved kernels keep the
+    analytic fallback, so mixing is safe.
     """
     tasks = graph.tasks
     n_tasks = len(tasks)
@@ -142,7 +156,7 @@ def simulate(
         node_heap = cores[task.owner]
         core_free = heapq.heappop(node_heap)
         start = max(ready_time, core_free)
-        duration = _task_duration(task, platform)
+        duration = _task_duration(task, platform, tile_size, calibration)
         end = start + duration
         heapq.heappush(node_heap, end)
 
@@ -180,7 +194,9 @@ def simulate(
             "(the task graph has a dependency cycle)"
         )
 
-    durations = {t.uid: _task_duration(t, platform) for t in tasks}
+    durations = {
+        t.uid: _task_duration(t, platform, tile_size, calibration) for t in tasks
+    }
     critical = graph.critical_path_length(durations)
 
     return SimulationResult(

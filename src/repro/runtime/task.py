@@ -64,6 +64,14 @@ class Task:
         Optional picklable :class:`~repro.kernels.dispatch.KernelCall`
         descriptor of the same kernel, executed by the multi-process
         executor (closures cannot cross a process boundary).
+    priority:
+        Scheduling priority — larger runs first among simultaneously ready
+        tasks.  Executors use it to order their ready sets; the canonical
+        assignment is the critical-path depth (b-level) under a calibrated
+        cost model, see :meth:`TaskGraph.assign_priorities
+        <repro.runtime.graph.TaskGraph.assign_priorities>`.  Priorities
+        never override dependencies, so they affect timing only, not
+        results.
     """
 
     uid: int
@@ -77,6 +85,7 @@ class Task:
     duration_hint: Optional[float] = None
     fn: Optional[Callable[[], None]] = None
     call: Optional[object] = None
+    priority: float = 0.0
     deps: Set[int] = field(default_factory=set)
 
     def touches(self) -> FrozenSet[TileRef]:

@@ -1,0 +1,194 @@
+"""Autotuned solver configuration: ``tile_size="auto"`` / ``executor="auto"``.
+
+Covers the deterministic no-calibration fallback, the calibrated
+model-driven choice, the reserved ``"auto"`` executor name, and the
+bit-identity of an auto-configured solve against the same configuration
+spelled out explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.facade import make_solver, solve
+from repro.api.registry import EXECUTORS, Registry
+from repro.matrices.random_gen import random_matrix, random_rhs
+from repro.perf.autotune import (
+    TunedConfig,
+    autotune_config,
+    candidate_tile_sizes,
+    predicted_makespan,
+)
+from repro.perf.calibrate import Calibration, clear_calibration_cache
+
+
+@pytest.fixture()
+def no_calibration(tmp_path, monkeypatch):
+    """Force the no-calibration fallback path."""
+    monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "missing.json"))
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+@pytest.fixture()
+def toy_calibration():
+    cal = Calibration(host="test")
+    cal.add_samples(
+        {
+            ("gemm", 8): [1e-4],
+            ("getrf", 8): [2e-4],
+            ("trsm", 8): [1e-4],
+            ("gemm", 16): [8e-4],
+            ("getrf", 16): [1.6e-3],
+            ("trsm", 16): [8e-4],
+        }
+    )
+    return cal
+
+
+# --------------------------------------------------------------------------- #
+# Candidate generation
+# --------------------------------------------------------------------------- #
+def test_candidates_are_divisors_within_range():
+    for nb in candidate_tile_sizes(96):
+        assert 96 % nb == 0
+        assert 8 <= nb <= 96
+    assert 8 in candidate_tile_sizes(96)
+    assert 32 in candidate_tile_sizes(96)
+
+
+def test_candidates_include_observed_dividing_sizes(toy_calibration):
+    assert 16 in candidate_tile_sizes(96, toy_calibration)
+
+
+def test_candidates_prime_order_single_tile_only():
+    # A prime order has no nontrivial divisor; the only in-range candidate
+    # is the whole matrix as one tile.
+    assert candidate_tile_sizes(97) == [97]
+    # Beyond the practical range even that disappears.
+    assert candidate_tile_sizes(521) == []
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic fallback
+# --------------------------------------------------------------------------- #
+def test_fallback_without_calibration_is_deterministic(no_calibration):
+    first = autotune_config(96, workers=4)
+    second = autotune_config(96, workers=4)
+    assert first.source == "fallback"
+    assert (first.tile_size, first.executor) == (second.tile_size, second.executor)
+    # Divisor of 96 closest to the default 32.
+    assert first.tile_size == 32
+
+
+def test_fallback_small_matrix_stays_inline(no_calibration):
+    cfg = autotune_config(96, workers=8)
+    assert cfg.executor is None  # below the serial cutoff of 256
+
+
+def test_fallback_large_matrix_goes_threaded(no_calibration):
+    cfg = autotune_config(512, workers=4)
+    assert cfg.executor == "threaded(workers=4)"
+    assert 512 % cfg.tile_size == 0
+
+
+def test_fallback_unknown_size(no_calibration):
+    cfg = autotune_config(None, workers=1)
+    assert cfg.tile_size == 32
+    assert cfg.source == "fallback"
+
+
+def test_fallback_prime_order_picks_a_divisor(no_calibration):
+    cfg = autotune_config(97, workers=1)
+    assert 97 % cfg.tile_size == 0
+
+
+# --------------------------------------------------------------------------- #
+# Calibrated choice
+# --------------------------------------------------------------------------- #
+def test_calibrated_choice_minimizes_predicted_makespan(toy_calibration):
+    cfg = autotune_config(96, calibration=toy_calibration, workers=1)
+    assert cfg.source == "calibrated"
+    assert 96 % cfg.tile_size == 0
+    assert cfg.predicted_makespans
+    best = min(
+        cfg.predicted_makespans, key=lambda nb: (cfg.predicted_makespans[nb], nb)
+    )
+    assert cfg.tile_size == best
+
+
+def test_predicted_makespan_positive_and_monotone_in_cores(toy_calibration):
+    serial = predicted_makespan(96, 8, toy_calibration, cores=1)
+    parallel = predicted_makespan(96, 8, toy_calibration, cores=4)
+    assert 0 < parallel <= serial
+
+
+def test_calibrated_single_worker_stays_inline(toy_calibration):
+    cfg = autotune_config(96, calibration=toy_calibration, workers=1)
+    assert cfg.executor is None
+
+
+def test_tuned_config_is_a_plain_record(toy_calibration):
+    cfg = autotune_config(96, calibration=toy_calibration, workers=2)
+    assert isinstance(cfg, TunedConfig)
+    assert cfg.n == 96
+
+
+# --------------------------------------------------------------------------- #
+# Facade integration
+# --------------------------------------------------------------------------- #
+def test_make_solver_auto_resolves_tile_size(no_calibration):
+    solver = make_solver("lupp", tile_size="auto", executor="auto", size_hint=96)
+    assert solver.tile_size == 32
+    assert solver.executor is None
+
+
+def test_make_solver_auto_without_hint_uses_default(no_calibration):
+    solver = make_solver("lupp", tile_size="auto")
+    assert solver.tile_size == 32
+
+
+def test_auto_executor_overrides_env_fallback(no_calibration, monkeypatch):
+    """An auto-resolved inline executor must not be displaced by
+    REPRO_EXECUTOR: the autotuner made an explicit decision."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "threaded(workers=2)")
+    solver = make_solver("lupp", tile_size=8, executor="auto", size_hint=96)
+    assert solver.executor is None
+
+
+def test_solve_auto_bit_identical_to_explicit(no_calibration):
+    n = 96
+    a = random_matrix(n, seed=3)
+    b = random_rhs(n, seed=4)
+    auto = solve(a, b, algorithm="lupp", tile_size="auto", executor="auto")
+    explicit = solve(a, b, algorithm="lupp", tile_size=32, executor=None)
+    assert np.array_equal(auto.x, explicit.x)
+    assert np.array_equal(
+        auto.factorization.tiles.array, explicit.factorization.tiles.array
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Reserved registry name
+# --------------------------------------------------------------------------- #
+def test_executor_auto_is_reserved():
+    with pytest.raises(ValueError, match="reserved"):
+        EXECUTORS.get("auto")
+
+
+def test_reserved_name_cannot_be_registered():
+    reg = Registry("thing")
+    reg.reserve("auto", "handled elsewhere")
+    with pytest.raises(ValueError, match="reserved"):
+        reg.register("auto")(object)
+    with pytest.raises(ValueError, match="reserved"):
+        reg.register("other", aliases=("auto",))(object)
+
+
+def test_reserve_rejects_taken_name():
+    reg = Registry("thing")
+    reg.register("taken")(object)
+    with pytest.raises(ValueError, match="already registered"):
+        reg.reserve("taken", "nope")
