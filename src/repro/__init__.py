@@ -69,12 +69,14 @@ from .api import (
     factor,
     make_criterion,
     make_executor,
+    make_kernel_backend,
     make_solver,
     make_tree,
     matrix_fingerprint,
     parse_spec,
     register_criterion,
     register_executor,
+    register_kernel_backend,
     register_solver,
     register_tree,
     solve,
@@ -90,6 +92,7 @@ __all__ = [
     "make_criterion",
     "make_tree",
     "make_executor",
+    "make_kernel_backend",
     "parse_spec",
     "SolverSpec",
     "SolverSession",
@@ -105,6 +108,7 @@ __all__ = [
     "register_criterion",
     "register_tree",
     "register_executor",
+    "register_kernel_backend",
     "HybridLUQRSolver",
     "LUNoPivSolver",
     "LUIncPivSolver",

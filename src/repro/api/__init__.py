@@ -13,6 +13,7 @@ anywhere inside the package without a cycle.
 from .registry import (
     CRITERIA,
     EXECUTORS,
+    KERNEL_BACKENDS,
     SOLVERS,
     TREES,
     Registry,
@@ -20,6 +21,7 @@ from .registry import (
     parse_spec,
     register_criterion,
     register_executor,
+    register_kernel_backend,
     register_solver,
     register_tree,
 )
@@ -32,15 +34,18 @@ __all__ = [
     "CRITERIA",
     "TREES",
     "EXECUTORS",
+    "KERNEL_BACKENDS",
     "register_solver",
     "register_criterion",
     "register_tree",
     "register_executor",
+    "register_kernel_backend",
     "SolverSpec",
     "make_solver",
     "make_criterion",
     "make_tree",
     "make_executor",
+    "make_kernel_backend",
     "make_grid",
     "solve",
     "factor",
@@ -61,6 +66,7 @@ _FACADE_NAMES = {
     "make_criterion",
     "make_tree",
     "make_executor",
+    "make_kernel_backend",
     "make_grid",
     "solve",
     "factor",

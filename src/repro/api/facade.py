@@ -30,7 +30,14 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..tiles.distribution import ProcessGrid
-from .registry import CRITERIA, EXECUTORS, SOLVERS, TREES, parse_spec
+from .registry import (
+    CRITERIA,
+    EXECUTORS,
+    KERNEL_BACKENDS,
+    SOLVERS,
+    TREES,
+    parse_spec,
+)
 
 __all__ = [
     "SolverSpec",
@@ -38,6 +45,7 @@ __all__ = [
     "make_criterion",
     "make_tree",
     "make_executor",
+    "make_kernel_backend",
     "make_grid",
     "solve",
     "factor",
@@ -63,6 +71,12 @@ EXECUTORS.reserve(
     "executor='auto' to make_solver/solve/factor instead of creating it "
     "from the registry",
 )
+KERNEL_BACKENDS.reserve(
+    "auto",
+    "resolved by the facade from the calibrated performance model; pass "
+    "kernel_backend='auto' to make_solver/solve/factor instead of creating "
+    "it from the registry",
+)
 
 
 @dataclass
@@ -80,8 +94,13 @@ class SolverSpec:
     ``domain_pivoting=False`` for the hybrid solver); they are validated
     against the algorithm's constructor signature when the solver is built.
 
-    ``tile_size`` and ``executor`` additionally accept the string
-    ``"auto"``: the facade then consults the autotuner
+    ``kernel_backend`` selects how tile-kernel sweeps execute (a
+    :data:`~repro.api.registry.KERNEL_BACKENDS` name such as ``"numpy"``,
+    ``"fused"`` or ``"jit"``, or a ready backend instance); ``None`` keeps
+    the bit-exact per-tile reference.
+
+    ``tile_size``, ``executor`` and ``kernel_backend`` additionally accept
+    the string ``"auto"``: the facade then consults the autotuner
     (:func:`repro.perf.autotune.autotune_config`), which predicts
     makespans under this host's calibrated cost model — or applies its
     documented deterministic fallback when no calibration exists.
@@ -100,6 +119,7 @@ class SolverSpec:
     executor: Any = None
     track_growth: bool = True
     size_hint: Optional[int] = None
+    kernel_backend: Any = None
     options: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -137,6 +157,18 @@ def make_executor(spec: Any) -> Any:
     return EXECUTORS.create(spec)
 
 
+def make_kernel_backend(spec: Any) -> Any:
+    """Resolve a kernel-backend spec (``"fused"``) or pass through.
+
+    ``None`` resolves to the bit-exact per-tile ``numpy`` reference;
+    unknown names raise a :class:`ValueError` listing the registered
+    backends.
+    """
+    from ..kernels.backends import resolve_backend  # lazy: pulls in numpy
+
+    return resolve_backend(spec)
+
+
 def make_grid(spec: Any) -> Optional[ProcessGrid]:
     """Resolve a process-grid spec: ``ProcessGrid``, ``(p, q)``, ``"PxQ"``."""
     if spec is None or isinstance(spec, ProcessGrid):
@@ -159,27 +191,33 @@ def _is_auto(value: Any) -> bool:
 
 
 def _resolve_auto(spec: "SolverSpec") -> "SolverSpec":
-    """Replace ``"auto"`` tile size / executor with the autotuner's choice.
+    """Replace ``"auto"`` fields with the autotuner's choice.
 
-    One :func:`~repro.perf.autotune.autotune_config` call serves both
-    fields so the pair is consistent (the tile size that wins is the one
-    predicted under the executor that wins).  An auto-resolved inline
-    executor becomes the explicit ``"none"`` spec rather than ``None`` —
-    the autotuner made a decision, so the ``REPRO_EXECUTOR`` environment
-    fallback must not override it.
+    One :func:`~repro.perf.autotune.autotune_config` call serves tile
+    size, executor and kernel backend so the triple is consistent (the
+    tile size that wins is the one predicted under the executor and
+    backend that win).  An auto-resolved inline executor becomes the
+    explicit ``"none"`` spec rather than ``None`` — the autotuner made a
+    decision, so the ``REPRO_EXECUTOR`` environment fallback must not
+    override it.
     """
     tile_auto = _is_auto(spec.tile_size)
     exec_auto = _is_auto(spec.executor)
-    if not (tile_auto or exec_auto):
+    backend_auto = _is_auto(spec.kernel_backend)
+    if not (tile_auto or exec_auto or backend_auto):
         return spec
     from ..perf.autotune import autotune_config  # lazy: perf pulls in numpy
 
-    tuned = autotune_config(spec.size_hint)
+    tuned = autotune_config(
+        spec.size_hint, kernel_backends="auto" if backend_auto else None
+    )
     changes: Dict[str, Any] = {}
     if tile_auto:
         changes["tile_size"] = tuned.tile_size
     if exec_auto:
         changes["executor"] = tuned.executor if tuned.executor is not None else "none"
+    if backend_auto:
+        changes["kernel_backend"] = tuned.kernel_backend
     return replace(spec, **changes)
 
 
@@ -295,6 +333,12 @@ def make_solver(spec: Any = None, **kwargs: Any):
         raise ValueError(
             f"algorithm {algo_label!r} does not accept 'executor'"
         )
+    if spec.kernel_backend is not None:
+        if "kernel_backend" not in params:
+            raise ValueError(
+                f"algorithm {algo_label!r} does not accept a kernel_backend"
+            )
+        build_kwargs["kernel_backend"] = make_kernel_backend(spec.kernel_backend)
     for key, value in (
         ("criterion", make_criterion(spec.criterion) if spec.criterion is not None else None),
         ("intra_tree", make_tree(spec.intra_tree) if spec.intra_tree is not None else None),

@@ -40,10 +40,12 @@ __all__ = [
     "CRITERIA",
     "TREES",
     "EXECUTORS",
+    "KERNEL_BACKENDS",
     "register_solver",
     "register_criterion",
     "register_tree",
     "register_executor",
+    "register_kernel_backend",
 ]
 
 
@@ -274,14 +276,16 @@ class Registry:
         return factory(*args, **kwargs)
 
 
-#: The four extension points of the framework.
+#: The five extension points of the framework.
 SOLVERS = Registry("algorithm")
 CRITERIA = Registry("criterion")
 TREES = Registry("reduction tree")
 EXECUTORS = Registry("executor")
+KERNEL_BACKENDS = Registry("kernel backend")
 
 #: Decorators used by the built-ins (and available to user plugins).
 register_solver = SOLVERS.register
 register_criterion = CRITERIA.register
 register_tree = TREES.register
 register_executor = EXECUTORS.register
+register_kernel_backend = KERNEL_BACKENDS.register

@@ -50,6 +50,7 @@ class HQRSolver(TiledSolverBase):
         track_growth: bool = True,
         executor: Optional[Executor] = None,
         lookahead: int = 1,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             tile_size=tile_size,
@@ -57,6 +58,7 @@ class HQRSolver(TiledSolverBase):
             track_growth=track_growth,
             executor=executor,
             lookahead=lookahead,
+            kernel_backend=kernel_backend,
         )
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
         self.inter_tree = inter_tree if inter_tree is not None else FibonacciTree()
@@ -72,4 +74,6 @@ class HQRSolver(TiledSolverBase):
             step=k,
         )
         elims = tree.eliminations_for_step(k, list(range(k, tiles.n)))
-        return record, qr_step_tasks(tiles, k, elims, record)
+        return record, qr_step_tasks(
+            tiles, k, elims, record, backend=self.kernel_backend
+        )

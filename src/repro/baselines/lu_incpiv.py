@@ -45,6 +45,7 @@ class LUIncPivSolver(TiledSolverBase):
         track_growth: bool = True,
         executor: Optional[Executor] = None,
         lookahead: int = 1,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             tile_size=tile_size,
@@ -52,6 +53,7 @@ class LUIncPivSolver(TiledSolverBase):
             track_growth=track_growth,
             executor=executor,
             lookahead=lookahead,
+            kernel_backend=kernel_backend,
         )
 
     def _plan_step(
@@ -122,6 +124,17 @@ class LUIncPivSolver(TiledSolverBase):
             record.add_kernel("swptrsm")
 
         # ---- Pairwise elimination of every sub-diagonal panel tile. ------ #
+        backend = self.kernel_backend
+        sub_rows = list(range(k + 1, n))
+        if (
+            backend is not None
+            and getattr(backend, "fuses", False)
+            and len(sub_rows) >= 2
+        ):
+            return record, self._plan_fused_elimination(
+                tiles, k, record, tasks, factors, backend, sub_rows
+            )
+
         for i in range(k + 1, n):
             key = ("pair", i)
 
@@ -193,3 +206,104 @@ class LUIncPivSolver(TiledSolverBase):
                 )
                 record.add_kernel("ssssm_rhs")
         return record, tasks
+
+    def _plan_fused_elimination(
+        self,
+        tiles: TileMatrix,
+        k: int,
+        record: StepRecord,
+        tasks: List[KernelTask],
+        factors: Dict[object, LUPanelFactor],
+        backend,
+        sub_rows: List[int],
+    ) -> List[KernelTask]:
+        """Fused plan for the pairwise eliminations of step ``k``.
+
+        All TSTRF tasks are emitted first, then one SSSSM *chain* task per
+        trailing column replays the pairwise updates of that column in
+        program order.  This reordering is bit-exact: SSSSM closures read
+        the pairwise factor objects (not the panel tile bytes), TSTRF only
+        touches panel tiles ``(k, k)``/``(i, k)``, and within each column
+        the update order is unchanged.  The chain's reads over the whole
+        panel column give it RAW edges from every TSTRF, so the dataflow
+        executors never start a chain before its factors exist.
+        """
+        nb = tiles.nb
+        n = tiles.n
+        rows_t = tuple(sub_rows)
+        m = len(sub_rows)
+        inproc_keys = []
+        pair_keys = []
+        for i in sub_rows:
+            key = ("pair", i)
+            inproc_keys.append(key)
+
+            def do_tstrf(i=i, key=key) -> None:
+                stacked = np.vstack([np.triu(tiles.tile(k, k)), tiles.tile(i, k)])
+                pair = factor_panel_lu(stacked, nb, recursive=False)
+                factors[key] = pair
+                tiles.set_tile(k, k, np.triu(pair.lu[:nb]))
+                tiles.set_tile(i, k, pair.lu[nb:])
+
+            pair_key = ("incpiv-pair", k, i)
+            pair_keys.append(pair_key)
+            tasks.append(
+                KernelTask(
+                    "tstrf",
+                    do_tstrf,
+                    reads=frozenset({(k, k), (i, k)}),
+                    writes=frozenset({(k, k), (i, k)}),
+                    call=KernelCall("incpiv.tstrf", args=(k, i), produces=pair_key),
+                )
+            )
+            record.add_kernel("tstrf")
+
+        panel_reads = frozenset((i, k) for i in sub_rows)
+        keys_t = tuple(inproc_keys)
+        consumes = tuple(pair_keys)
+        bname = backend.name
+        for j in range(k + 1, n):
+            def do_ssssm_chain(j=j) -> None:
+                pairs = tuple(factors[key] for key in keys_t)
+                backend.incpiv_ssssm_chain(tiles, k, j, rows_t, pairs)
+
+            col = frozenset({(k, j)}) | frozenset((i, j) for i in sub_rows)
+            tasks.append(
+                KernelTask(
+                    "ssssm",
+                    do_ssssm_chain,
+                    reads=panel_reads | col,
+                    writes=col,
+                    fused=m,
+                    call=KernelCall(
+                        "fused.incpiv_ssssm_chain",
+                        args=(bname, k, j, rows_t),
+                        consumes=consumes,
+                    ),
+                )
+            )
+            record.add_kernel("ssssm", m)
+        if tiles.has_rhs:
+            def do_ssssm_rhs_chain() -> None:
+                pairs = tuple(factors[key] for key in keys_t)
+                backend.incpiv_ssssm_rhs_chain(tiles, k, rows_t, pairs)
+
+            rhs_col = frozenset({(k, RHS_COLUMN)}) | frozenset(
+                (i, RHS_COLUMN) for i in sub_rows
+            )
+            tasks.append(
+                KernelTask(
+                    "ssssm_rhs",
+                    do_ssssm_rhs_chain,
+                    reads=panel_reads | rhs_col,
+                    writes=rhs_col,
+                    fused=m,
+                    call=KernelCall(
+                        "fused.incpiv_ssssm_rhs_chain",
+                        args=(bname, k, rows_t),
+                        consumes=consumes,
+                    ),
+                )
+            )
+            record.add_kernel("ssssm_rhs", m)
+        return tasks

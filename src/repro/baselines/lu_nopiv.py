@@ -50,6 +50,7 @@ class LUNoPivSolver(TiledSolverBase):
         track_growth: bool = True,
         executor: Optional[Executor] = None,
         lookahead: int = 1,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             tile_size=tile_size,
@@ -57,6 +58,7 @@ class LUNoPivSolver(TiledSolverBase):
             track_growth=track_growth,
             executor=executor,
             lookahead=lookahead,
+            kernel_backend=kernel_backend,
         )
         self.domain_pivoting = bool(domain_pivoting)
 
@@ -68,4 +70,6 @@ class LUNoPivSolver(TiledSolverBase):
             tiles, dist, k, domain_pivoting=self.domain_pivoting, recursive_panel=False
         )
         record.domain_rows = analysis.domain_rows
-        return record, lu_step_tasks(tiles, k, analysis, record)
+        return record, lu_step_tasks(
+            tiles, k, analysis, record, backend=self.kernel_backend
+        )

@@ -41,6 +41,7 @@ class LUPPSolver(TiledSolverBase):
         track_growth: bool = True,
         executor: Optional[Executor] = None,
         lookahead: int = 1,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             tile_size=tile_size,
@@ -48,6 +49,7 @@ class LUPPSolver(TiledSolverBase):
             track_growth=track_growth,
             executor=executor,
             lookahead=lookahead,
+            kernel_backend=kernel_backend,
         )
 
     def _plan_step(
@@ -62,4 +64,6 @@ class LUPPSolver(TiledSolverBase):
         )
         record.domain_rows = analysis.domain_rows
         record.add_kernel("panel_pivot_exchange")
-        return record, lu_step_tasks(tiles, k, analysis, record)
+        return record, lu_step_tasks(
+            tiles, k, analysis, record, backend=self.kernel_backend
+        )

@@ -97,6 +97,7 @@ class HybridLUQRSolver(TiledSolverBase):
         track_growth: bool = True,
         executor: Optional[Executor] = None,
         lookahead: int = 1,
+        kernel_backend=None,
     ) -> None:
         super().__init__(
             tile_size=tile_size,
@@ -104,6 +105,7 @@ class HybridLUQRSolver(TiledSolverBase):
             track_growth=track_growth,
             executor=executor,
             lookahead=lookahead,
+            kernel_backend=kernel_backend,
         )
         self.criterion = criterion if criterion is not None else MaxCriterion(alpha=1.0)
         self.intra_tree = intra_tree if intra_tree is not None else GreedyTree()
@@ -150,7 +152,9 @@ class HybridLUQRSolver(TiledSolverBase):
         # what the criterion says (there is no factorization to reuse).
         if decision.use_lu and not analysis.singular:
             record.kind = "LU"
-            tasks = lu_step_tasks(tiles, k, analysis, record)
+            tasks = lu_step_tasks(
+                tiles, k, analysis, record, backend=self.kernel_backend
+            )
         else:
             record.kind = "QR"
             # The domain factorization is discarded and the panel restored
@@ -165,5 +169,7 @@ class HybridLUQRSolver(TiledSolverBase):
                 step=k,
             )
             elims = tree.eliminations_for_step(k, list(range(k, tiles.n)))
-            tasks = qr_step_tasks(tiles, k, elims, record)
+            tasks = qr_step_tasks(
+                tiles, k, elims, record, backend=self.kernel_backend
+            )
         return record, tasks

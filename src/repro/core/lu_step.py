@@ -42,6 +42,7 @@ def lu_step_tasks(
     k: int,
     analysis: PanelAnalysis,
     record: StepRecord,
+    backend=None,
 ) -> List[KernelTask]:
     """Plan one LU step (variant A1) as a list of kernel tasks.
 
@@ -56,6 +57,12 @@ def lu_step_tasks(
     lazily, so the returned tasks are valid for sequential execution in
     program order and for dataflow execution under the superscalar
     dependency rules.
+
+    ``backend`` (a :class:`~repro.kernels.backends.KernelBackend`) controls
+    the trailing-update plan: a fusing backend collapses each trailing
+    column's GEMM sweep into one stacked-GEMM task (``fused`` tasks carry
+    the logical kernel count); ``None`` or the ``numpy`` reference keeps
+    the bit-exact one-task-per-tile plan.
     """
     if analysis.factor is None:
         raise SingularPanelError(
@@ -158,8 +165,54 @@ def lu_step_tasks(
 
     # ------------------------------------------------------------------ #
     # Update (GEMM): A_ij <- A_ij - A_ik A_kj for every trailing tile, plus
-    # the same update of the RHS tiles.
+    # the same update of the RHS tiles.  A fusing backend collapses each
+    # trailing column into one stacked GEMM over contiguous block views:
+    # the sweep's tile rows are contiguous (k+1..n-1), so the whole column
+    # update is a single (m*nb, nb) x (nb, nb) product — mathematically
+    # identical to the per-tile loop, one dispatch instead of m.
     # ------------------------------------------------------------------ #
+    m = n - k - 1
+    if backend is not None and getattr(backend, "fuses", False) and m >= 2:
+        i0, i1 = k + 1, n
+        sweep_panel = frozenset((i, k) for i in range(i0, i1))
+        for j in range(k + 1, n):
+            def do_update_col(j=j) -> None:
+                backend.lu_gemm_sweep(tiles, k, j, i0, i1)
+
+            col_refs = frozenset((i, j) for i in range(i0, i1))
+            tasks.append(
+                KernelTask(
+                    "gemm",
+                    do_update_col,
+                    reads=sweep_panel | frozenset({(k, j)}) | col_refs,
+                    writes=col_refs,
+                    fused=m,
+                    call=KernelCall(
+                        "fused.lu_gemm_sweep", args=(backend.name, k, j, i0, i1)
+                    ),
+                )
+            )
+            record.add_kernel("gemm", m)
+        if tiles.has_rhs:
+            def do_update_rhs_sweep() -> None:
+                backend.lu_gemm_rhs_sweep(tiles, k, i0, i1)
+
+            rhs_refs = frozenset((i, RHS_COLUMN) for i in range(i0, i1))
+            tasks.append(
+                KernelTask(
+                    "gemm_rhs",
+                    do_update_rhs_sweep,
+                    reads=sweep_panel | frozenset({(k, RHS_COLUMN)}) | rhs_refs,
+                    writes=rhs_refs,
+                    fused=m,
+                    call=KernelCall(
+                        "fused.lu_gemm_rhs_sweep", args=(backend.name, k, i0, i1)
+                    ),
+                )
+            )
+            record.add_kernel("gemm_rhs", m)
+        return tasks
+
     for i in range(k + 1, n):
         for j in range(k + 1, n):
             def do_update(i=i, j=j) -> None:

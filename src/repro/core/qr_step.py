@@ -91,6 +91,7 @@ def qr_step_tasks(
     eliminations: Sequence[Elimination],
     record: StepRecord,
     validate: bool = True,
+    backend=None,
 ) -> List[KernelTask]:
     """Plan one QR step as a list of kernel tasks.
 
@@ -98,6 +99,13 @@ def qr_step_tasks(
     row ``k``; it is validated by default (cheap) so that a malformed
     reduction tree cannot silently corrupt the factorization.  ``record``
     receives the kernel counts and the elimination list at planning time.
+
+    ``backend`` (a :class:`~repro.kernels.backends.KernelBackend`) controls
+    the trailing-update plan: with a fusing backend, the panel kernels
+    (GEQRT/TSQRT/TTQRT) stay per-tile but each trailing column's update
+    chain (UNMQR/TSMQR/TTMQR in program order) collapses into one task —
+    per-column numerics are identical because the chain replays exactly
+    the per-tile op order of that column.
     """
     n = tiles.n
     nb = tiles.nb
@@ -106,12 +114,34 @@ def qr_step_tasks(
     if validate:
         validate_eliminations(rows, elims)
 
+    fuse = backend is not None and getattr(backend, "fuses", False)
+
     # Compact-WY factors flow from the panel kernels to their trailing
     # updates through this table (keyed by producing event); the tile
     # read/write sets below guarantee each producer runs first.
     factors: Dict[Tuple, QRTileFactor] = {}
     tasks: List[KernelTask] = []
     triangular: Set[int] = set()
+
+    # Fusion bookkeeping: per trailing column, the ordered op chain (in
+    # program order), its picklable descriptor form (factors referenced by
+    # index into the chain's ``consumes`` tuple), and the ordered factor
+    # keys it consumes.  Populated while walking the elimination list,
+    # emitted as one task per column by ``emit_chains`` at the end.
+    chains: Dict[int, List[tuple]] = {j: [] for j in range(k + 1, n)}
+    chain_desc: Dict[int, List[tuple]] = {j: [] for j in range(k + 1, n)}
+    chain_keys: Dict[int, List[tuple]] = {j: [] for j in range(k + 1, n)}
+    rhs_chain: List[tuple] = []
+    rhs_desc: List[tuple] = []
+    rhs_keys: List[tuple] = []
+
+    def chain_input(keys: List[tuple], key: tuple) -> int:
+        """Index of ``key`` in the chain's consumes tuple (appending once)."""
+        try:
+            return keys.index(key)
+        except ValueError:
+            keys.append(key)
+            return len(keys) - 1
 
     def emit_triangularize(row: int) -> None:
         """GEQRT the panel tile of ``row`` and update its trailing tiles."""
@@ -137,6 +167,19 @@ def qr_step_tasks(
             )
         )
         record.add_kernel("geqrt")
+        if fuse:
+            for j in range(k + 1, n):
+                idx = chain_input(chain_keys[j], geqrt_key)
+                chains[j].append(("unmqr", row, ("geqrt", row)))
+                chain_desc[j].append(("unmqr", row, idx))
+                record.add_kernel("unmqr")
+            if tiles.has_rhs:
+                idx = chain_input(rhs_keys, geqrt_key)
+                rhs_chain.append(("unmqr", row, ("geqrt", row)))
+                rhs_desc.append(("unmqr", row, idx))
+                record.add_kernel("unmqr_rhs")
+            triangular.add(row)
+            return
         for j in range(k + 1, n):
             def do_unmqr(row=row, j=j) -> None:
                 factor = factors[("geqrt", row)]
@@ -173,11 +216,98 @@ def qr_step_tasks(
             record.add_kernel("unmqr_rhs")
         triangular.add(row)
 
+    def emit_chains() -> None:
+        """Emit one fused task per trailing column (and one for the RHS).
+
+        All panel tasks (GEQRT/couples) precede the chains in program
+        order; a chain only reads column ``k`` panel tiles and its own
+        column's tiles, so the superscalar analysis orders each chain
+        after every factor it consumes and chains of different columns
+        stay independent (full cross-column executor parallelism).
+        """
+        if not fuse:
+            return
+        bname = backend.name
+        for j in range(k + 1, n):
+            ops = chains[j]
+            if not ops:
+                continue
+            reads: Set[Tuple[int, int]] = set()
+            writes: Set[Tuple[int, int]] = set()
+            for op in ops:
+                if op[0] == "unmqr":
+                    _, row, _ = op
+                    reads.update({(row, k), (row, j)})
+                    writes.add((row, j))
+                else:
+                    _, elim, killed, _ = op
+                    reads.update({(killed, k), (elim, j), (killed, j)})
+                    writes.update({(elim, j), (killed, j)})
+            kernel_name = (
+                "tsmqr" if any(op[0] == "update" for op in ops) else "unmqr"
+            )
+
+            def do_chain(j=j, ops=tuple(ops)) -> None:
+                backend.qr_column_chain(tiles, j, ops, factors)
+
+            tasks.append(
+                KernelTask(
+                    kernel_name,
+                    do_chain,
+                    reads=frozenset(reads),
+                    writes=frozenset(writes),
+                    fused=len(ops),
+                    call=KernelCall(
+                        "fused.qr_column_chain",
+                        args=(bname, j, tuple(chain_desc[j])),
+                        consumes=tuple(chain_keys[j]),
+                    ),
+                )
+            )
+        if tiles.has_rhs and rhs_chain:
+            reads = set()
+            writes = set()
+            for op in rhs_chain:
+                if op[0] == "unmqr":
+                    _, row, _ = op
+                    reads.update({(row, k), (row, RHS_COLUMN)})
+                    writes.add((row, RHS_COLUMN))
+                else:
+                    _, elim, killed, _ = op
+                    reads.update(
+                        {(killed, k), (elim, RHS_COLUMN), (killed, RHS_COLUMN)}
+                    )
+                    writes.update({(elim, RHS_COLUMN), (killed, RHS_COLUMN)})
+            kernel_name = (
+                "tsmqr_rhs"
+                if any(op[0] == "update" for op in rhs_chain)
+                else "unmqr_rhs"
+            )
+
+            def do_rhs_chain(ops=tuple(rhs_chain)) -> None:
+                backend.qr_rhs_chain(tiles, ops, factors)
+
+            tasks.append(
+                KernelTask(
+                    kernel_name,
+                    do_rhs_chain,
+                    reads=frozenset(reads),
+                    writes=frozenset(writes),
+                    fused=len(rhs_chain),
+                    call=KernelCall(
+                        "fused.qr_rhs_chain",
+                        args=(bname, tuple(rhs_desc)),
+                        consumes=tuple(rhs_keys),
+                    ),
+                )
+            )
+
     # The diagonal tile must end up triangular even if no elimination uses
     # it as an eliminator (single-row panel, or trees rooted elsewhere merge
     # into it last with TT kernels which triangularize it on demand).
     if not elims:
         emit_triangularize(k)
+        emit_chains()
         return tasks
 
     for e in elims:
@@ -197,7 +327,7 @@ def qr_step_tasks(
             factor = couple(tiles.tile(e.eliminator, k), tiles.tile(e.killed, k))
             factors[key] = factor
             tiles.set_tile(e.eliminator, k, np.triu(factor.r))
-            tiles.set_tile(e.killed, k, np.zeros((nb, nb)))
+            tiles.set_tile(e.killed, k, np.zeros((nb, nb), dtype=tiles.dtype))
 
         tasks.append(
             KernelTask(
@@ -213,6 +343,19 @@ def qr_step_tasks(
             )
         )
         record.add_kernel(couple_name)
+
+        if fuse:
+            for j in range(k + 1, n):
+                idx = chain_input(chain_keys[j], couple_key)
+                chains[j].append(("update", e.eliminator, e.killed, key))
+                chain_desc[j].append(("update", e.eliminator, e.killed, idx))
+                record.add_kernel(update_name)
+            if tiles.has_rhs:
+                idx = chain_input(rhs_keys, couple_key)
+                rhs_chain.append(("update", e.eliminator, e.killed, key))
+                rhs_desc.append(("update", e.eliminator, e.killed, idx))
+                record.add_kernel(update_rhs_name)
+            continue
 
         for j in range(k + 1, n):
             def do_update(e=e, j=j, key=key) -> None:
@@ -271,6 +414,7 @@ def qr_step_tasks(
     if k not in triangular:
         emit_triangularize(k)
 
+    emit_chains()
     record.eliminations = elims
     return tasks
 

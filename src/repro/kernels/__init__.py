@@ -1,6 +1,15 @@
-"""Tile kernels (LU and QR), their flop model (Table I), and the picklable
-kernel-descriptor dispatch table used by the multi-process executor."""
+"""Tile kernels (LU and QR), their flop model (Table I), the picklable
+kernel-descriptor dispatch table used by the multi-process executor, and
+the pluggable kernel backends (per-tile reference, fused, JIT)."""
 
+from .backends import (
+    FusedBackend,
+    JitBackend,
+    KernelBackend,
+    NumpyBackend,
+    numba_available,
+    resolve_backend,
+)
 from .dispatch import KERNELS, KernelCall, execute_kernel_call
 from .flops import (
     KernelFlops,
@@ -27,6 +36,12 @@ __all__ = [
     "KernelCall",
     "KERNELS",
     "execute_kernel_call",
+    "KernelBackend",
+    "NumpyBackend",
+    "FusedBackend",
+    "JitBackend",
+    "resolve_backend",
+    "numba_available",
     "KernelFlops",
     "kernel_flops",
     "lu_step_flops",

@@ -165,7 +165,7 @@ def _qr_couple(tiles: TileMatrix, inputs, kind, eliminator, killed, k):
     couple = ttqrt if kind == "TT" else tsqrt
     factor = couple(tiles.tile(eliminator, k), tiles.tile(killed, k))
     tiles.set_tile(eliminator, k, np.triu(factor.r))
-    tiles.set_tile(killed, k, np.zeros((tiles.nb, tiles.nb)))
+    tiles.set_tile(killed, k, np.zeros((tiles.nb, tiles.nb), dtype=tiles.dtype))
     return factor
 
 

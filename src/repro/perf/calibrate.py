@@ -59,7 +59,9 @@ __all__ = [
 #: Environment variable overriding the calibration file location.
 CALIBRATION_ENV = "REPRO_CALIBRATION"
 
-_FORMAT_VERSION = 1
+#: Version 2 added per-kernel-backend cost tables (the ``backends`` key);
+#: version-1 files load unchanged (their table is the ``numpy`` reference).
+_FORMAT_VERSION = 2
 
 
 def calibration_path() -> Path:
@@ -118,27 +120,71 @@ class KernelCost:
         self.by_nb[nb] = (total / count, count)
 
 
+#: Backend whose samples live in the primary ``kernels`` table (the
+#: bit-exact per-tile reference every solver uses by default).
+_REFERENCE_BACKEND = "numpy"
+
+
 @dataclass
 class Calibration:
-    """Per-kernel cost model fitted from real execution traces."""
+    """Per-kernel cost model fitted from real execution traces.
+
+    ``kernels`` is the cost table of the ``numpy`` reference backend;
+    ``backends`` holds one additional table per non-reference kernel
+    backend (``"fused"``, ``"jit"``, ...).  Lookups for a backend fall
+    back to the reference table for kernels that backend has no samples
+    of, so a partially calibrated backend stays usable.
+    """
 
     kernels: Dict[str, KernelCost] = field(default_factory=dict)
     host: str = ""
+    backends: Dict[str, Dict[str, KernelCost]] = field(default_factory=dict)
+
+    def _table(self, backend: Optional[str]) -> Dict[str, KernelCost]:
+        if backend is None or backend == _REFERENCE_BACKEND:
+            return self.kernels
+        return self.backends.setdefault(str(backend), {})
 
     @property
     def n_samples(self) -> int:
-        return sum(k.count for k in self.kernels.values())
+        total = sum(k.count for k in self.kernels.values())
+        for table in self.backends.values():
+            total += sum(k.count for k in table.values())
+        return total
 
-    def kernel_duration(self, kernel: str, nb: int) -> Optional[float]:
+    def calibrated_backends(self) -> List[str]:
+        """Backends with at least one sample, reference first."""
+        names = [
+            name
+            for name, table in sorted(self.backends.items())
+            if any(cost.count for cost in table.values())
+        ]
+        has_ref = any(cost.count for cost in self.kernels.values())
+        return ([_REFERENCE_BACKEND] if has_ref else []) + names
+
+    def kernel_duration(
+        self, kernel: str, nb: int, backend: Optional[str] = None
+    ) -> Optional[float]:
         """Calibrated duration of ``kernel`` at tile size ``nb``, if known.
 
-        Returns ``None`` for kernels never observed; callers fall back to
-        their static cost model (Table-I flops at an analytic rate).
+        ``backend`` selects a per-backend table, falling back to the
+        ``numpy`` reference table for kernels that backend never observed.
+        Returns ``None`` for kernels never observed at all; callers fall
+        back to their static cost model (Table-I flops at an analytic
+        rate).
         """
+        if backend is not None and backend != _REFERENCE_BACKEND:
+            cost = self.backends.get(str(backend), {}).get(kernel)
+            if cost is not None:
+                duration = cost.duration(nb)
+                if duration is not None:
+                    return duration
         cost = self.kernels.get(kernel)
         return None if cost is None else cost.duration(nb)
 
-    def flops_per_second(self, nb: int) -> Optional[float]:
+    def flops_per_second(
+        self, nb: int, backend: Optional[str] = None
+    ) -> Optional[float]:
         """Effective per-core rate implied by the calibration at ``nb``.
 
         Preferred from GEMM (the dominant, best-understood kernel), else
@@ -147,11 +193,15 @@ class Calibration:
         so they remain comparable with calibrated ones.
         """
         flops = KernelFlops(int(nb))
-        candidates = ["gemm"] + sorted(
-            self.kernels, key=lambda k: -self.kernels[k].count
-        )
+        ranked: Dict[str, int] = {
+            name: cost.count for name, cost in self.kernels.items()
+        }
+        if backend is not None and backend != _REFERENCE_BACKEND:
+            for name, cost in self.backends.get(str(backend), {}).items():
+                ranked[name] = ranked.get(name, 0) + cost.count
+        candidates = ["gemm"] + sorted(ranked, key=lambda k: -ranked[k])
         for kernel in candidates:
-            duration = self.kernel_duration(kernel, nb)
+            duration = self.kernel_duration(kernel, nb, backend=backend)
             if duration is None or duration <= 0.0:
                 continue
             base = kernel[:-4] if kernel.endswith("_rhs") else kernel
@@ -166,46 +216,92 @@ class Calibration:
         sizes = set()
         for cost in self.kernels.values():
             sizes.update(cost.by_nb)
+        for table in self.backends.values():
+            for cost in table.values():
+                sizes.update(cost.by_nb)
         return sorted(sizes)
 
     def add_samples(
-        self, samples: Dict[Tuple[str, int], List[float]]
+        self,
+        samples: Dict[Tuple[str, int], List[float]],
+        backend: Optional[str] = None,
     ) -> "Calibration":
-        """Fold ``(kernel, nb) -> durations`` samples in; returns self."""
+        """Fold ``(kernel, nb) -> durations`` samples in; returns self.
+
+        ``backend`` routes the samples to that backend's table (default:
+        the ``numpy`` reference table).
+        """
+        table = self._table(backend)
         for (kernel, nb), durations in samples.items():
-            self.kernels.setdefault(kernel, KernelCost()).add(nb, durations)
+            table.setdefault(kernel, KernelCost()).add(nb, durations)
         return self
+
+    def view(self, backend: Optional[str] = None):
+        """A Calibration-compatible adapter bound to one backend.
+
+        The view exposes the same read API (``kernel_duration``,
+        ``flops_per_second``, ``observed_tile_sizes``, ``n_samples``) with
+        the backend pre-applied, so consumers that know nothing about
+        backends — the simulator, ``kernel_cost_fn`` — price tasks with
+        that backend's measured costs.  ``view("numpy")`` (or ``None``)
+        returns the calibration itself.
+        """
+        if backend is None or backend == _REFERENCE_BACKEND:
+            return self
+        return _BackendView(self, str(backend))
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _table_to_dict(table: Dict[str, KernelCost]) -> Dict:
+        return {
+            name: {
+                str(nb): {"mean": mean, "count": count}
+                for nb, (mean, count) in sorted(cost.by_nb.items())
+            }
+            for name, cost in sorted(table.items())
+        }
+
+    @staticmethod
+    def _table_from_dict(data: Dict) -> Dict[str, KernelCost]:
+        table: Dict[str, KernelCost] = {}
+        for name, entries in data.items():
+            by_nb = {
+                int(nb): (float(entry["mean"]), int(entry["count"]))
+                for nb, entry in entries.items()
+            }
+            table[name] = KernelCost(by_nb=by_nb)
+        return table
+
     def to_dict(self) -> Dict:
         return {
             "version": _FORMAT_VERSION,
             "host": self.host,
-            "kernels": {
-                name: {
-                    str(nb): {"mean": mean, "count": count}
-                    for nb, (mean, count) in sorted(cost.by_nb.items())
-                }
-                for name, cost in sorted(self.kernels.items())
+            "kernels": self._table_to_dict(self.kernels),
+            "backends": {
+                backend: self._table_to_dict(table)
+                for backend, table in sorted(self.backends.items())
             },
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Calibration":
-        if int(data.get("version", 0)) != _FORMAT_VERSION:
+        # Version 1 is version 2 without per-backend tables; anything newer
+        # (or unversioned) is rejected rather than silently misread.
+        version = int(data.get("version", 0))
+        if version not in (1, _FORMAT_VERSION):
             raise ValueError(
                 f"unsupported calibration format version {data.get('version')!r}"
             )
-        kernels: Dict[str, KernelCost] = {}
-        for name, table in data.get("kernels", {}).items():
-            by_nb = {
-                int(nb): (float(entry["mean"]), int(entry["count"]))
-                for nb, entry in table.items()
-            }
-            kernels[name] = KernelCost(by_nb=by_nb)
-        return cls(kernels=kernels, host=str(data.get("host", "")))
+        return cls(
+            kernels=cls._table_from_dict(data.get("kernels", {})),
+            host=str(data.get("host", "")),
+            backends={
+                str(backend): cls._table_from_dict(table)
+                for backend, table in data.get("backends", {}).items()
+            },
+        )
 
     def save(self, path: Optional[Path] = None) -> Path:
         """Write the calibration file (creating parent directories)."""
@@ -222,6 +318,40 @@ class Calibration:
         return cls.from_dict(json.loads(path.read_text()))
 
 
+class _BackendView:
+    """Read-only Calibration adapter with a kernel backend pre-applied.
+
+    Duck-types the read API consumers use (the simulator's
+    ``kernel_duration``, ``kernel_cost_fn``'s ``flops_per_second``, the
+    autotuner's ``observed_tile_sizes``/``n_samples``); lookups consult
+    the backend's table first and fall back to the reference table.
+    """
+
+    def __init__(self, calibration: Calibration, backend: str) -> None:
+        self._calibration = calibration
+        self.backend = backend
+
+    @property
+    def host(self) -> str:
+        return self._calibration.host
+
+    @property
+    def n_samples(self) -> int:
+        return self._calibration.n_samples
+
+    def kernel_duration(self, kernel: str, nb: int) -> Optional[float]:
+        return self._calibration.kernel_duration(kernel, nb, backend=self.backend)
+
+    def flops_per_second(self, nb: int) -> Optional[float]:
+        return self._calibration.flops_per_second(nb, backend=self.backend)
+
+    def observed_tile_sizes(self) -> List[int]:
+        return self._calibration.observed_tile_sizes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_BackendView(backend={self.backend!r})"
+
+
 # --------------------------------------------------------------------------- #
 # Fitting from traces
 # --------------------------------------------------------------------------- #
@@ -235,10 +365,16 @@ def collect_samples(
     name (traces predating calibration), and non-positive durations
     (timer-resolution artifacts) are all skipped rather than crashing or
     skewing the fit.
+
+    Fused tasks (``ExecutionTrace.fused_of_task``) batch ``m`` logical
+    per-tile kernels in one measurement; their duration is split into
+    ``m`` equal per-kernel samples so the fitted table stays per *logical*
+    kernel and remains comparable across backends.
     """
     nb = int(tile_size)
     samples: Dict[Tuple[str, int], List[float]] = {}
     for trace in traces:
+        fused_of_task = getattr(trace, "fused_of_task", {})
         for uid, kernel in trace.kernel_of_task.items():
             start = trace.start_times.get(uid)
             finish = trace.finish_times.get(uid)
@@ -247,7 +383,8 @@ def collect_samples(
             duration = finish - start
             if duration <= 0.0:
                 continue
-            samples.setdefault((kernel, nb), []).append(duration)
+            m = max(int(fused_of_task.get(uid, 1)), 1)
+            samples.setdefault((kernel, nb), []).extend([duration / m] * m)
     return samples
 
 
@@ -271,31 +408,54 @@ def run_calibration(
     executor=None,
     save: bool = True,
     path: Optional[Path] = None,
+    kernel_backends: Sequence[str] = (_REFERENCE_BACKEND,),
 ) -> Calibration:
     """Measure this host: factor seeded matrices and fit a calibration.
 
-    One factorization per ``(algorithm, tile size)`` pair; the default
-    algorithms cover both the LU and the QR kernel families.  The default
-    executor is a :class:`~repro.runtime.executor.SequentialExecutor` so
-    every duration is an uncontended single-core measurement — exactly the
-    per-core cost the simulator and the priority scheduler want.
+    One factorization per ``(backend, algorithm, tile size)`` triple; the
+    default algorithms cover both the LU and the QR kernel families.  The
+    default executor is a
+    :class:`~repro.runtime.executor.SequentialExecutor` so every duration
+    is an uncontended single-core measurement — exactly the per-core cost
+    the simulator and the priority scheduler want.
+
+    ``kernel_backends`` names the kernel backends to measure; each is
+    warmed (triggering any JIT compilation) *before* its timed
+    factorizations, so first-call compile time never leaks into the cost
+    tables.  Non-reference backends land in per-backend tables the
+    autotuner compares when picking ``kernel_backend="auto"``.
     """
     import numpy as np
 
     from ..api.facade import make_solver
+    from ..kernels.backends import resolve_backend
 
     if executor is None:
         executor = SequentialExecutor()
     rng = np.random.default_rng(seed)
     a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
     calibration = Calibration(host=socket.gethostname())
-    for nb in tile_sizes:
-        for algorithm in algorithms:
-            solver = make_solver(
-                algorithm, tile_size=int(nb), executor=executor, track_growth=False
-            )
-            solver.factor(a.copy())
-            calibration.add_samples(collect_samples(solver.step_traces, nb))
+    for backend_name in kernel_backends:
+        backend = resolve_backend(backend_name)
+        # Compile-time firewall: prime the backend for every tile size
+        # outside the timed window (satellite requirement — JIT compile
+        # time must never poison the calibration).
+        for nb in tile_sizes:
+            backend.warm(int(nb), a.dtype)
+        for nb in tile_sizes:
+            for algorithm in algorithms:
+                solver = make_solver(
+                    algorithm,
+                    tile_size=int(nb),
+                    executor=executor,
+                    track_growth=False,
+                    kernel_backend=backend,
+                )
+                solver.factor(a.copy())
+                calibration.add_samples(
+                    collect_samples(solver.step_traces, nb),
+                    backend=backend.name,
+                )
     if save:
         calibration.save(path)
         clear_calibration_cache()

@@ -36,16 +36,19 @@ class ExecutionTrace:
 
     Besides per-task timings, the trace records each task's kernel name
     (``kernel_of_task``) so per-kernel cost calibration
-    (:mod:`repro.perf.calibrate`) can be fed from traces alone, and
-    optionally the tile norms sampled by the multi-process executor's
-    workers (``tile_norms``, used for exact growth tracking under
-    cross-step lookahead).
+    (:mod:`repro.perf.calibrate`) can be fed from traces alone, the batch
+    count of fused tasks (``fused_of_task``, recorded only when > 1, so
+    calibration can divide a fused sweep's duration back into per-kernel
+    samples), and optionally the tile norms sampled by the multi-process
+    executor's workers (``tile_norms``, used for exact growth tracking
+    under cross-step lookahead).
     """
 
     start_times: Dict[int, float] = field(default_factory=dict)
     finish_times: Dict[int, float] = field(default_factory=dict)
     worker_of_task: Dict[int, str] = field(default_factory=dict)
     kernel_of_task: Dict[int, str] = field(default_factory=dict)
+    fused_of_task: Dict[int, int] = field(default_factory=dict)
     tile_norms: Dict[int, Dict[TileRef, float]] = field(default_factory=dict)
     wall_time: float = 0.0
 
@@ -120,6 +123,8 @@ class SequentialExecutor:
                 trace.start_times[uid] = time.perf_counter()
                 trace.worker_of_task[uid] = "main"
                 trace.kernel_of_task[uid] = task.kernel
+                if task.fused > 1:
+                    trace.fused_of_task[uid] = task.fused
                 try:
                     if task.fn is not None:
                         task.fn()
@@ -196,6 +201,8 @@ class ThreadedExecutor:
             trace.start_times[uid] = time.perf_counter()
             trace.worker_of_task[uid] = threading.current_thread().name
             trace.kernel_of_task[uid] = task.kernel
+            if task.fused > 1:
+                trace.fused_of_task[uid] = task.fused
             try:
                 if task.fn is not None:
                     task.fn()

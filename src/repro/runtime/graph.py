@@ -48,6 +48,7 @@ class TaskGraph:
         duration_hint: Optional[float] = None,
         fn=None,
         call=None,
+        fused: int = 1,
         extra_deps: Iterable[int] = (),
     ) -> Task:
         """Append a task; infer its dependencies from tile accesses."""
@@ -65,6 +66,7 @@ class TaskGraph:
             duration_hint=duration_hint,
             fn=fn,
             call=call,
+            fused=max(int(fused), 1),
         )
 
         deps: Set[int] = set(extra_deps)

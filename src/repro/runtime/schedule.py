@@ -74,6 +74,12 @@ class KernelTask:
         descriptor form of the same kernel — the form the multi-process
         executor ships to its workers (closures cannot cross a process
         boundary, so a task without a descriptor can only run in-process).
+    fused:
+        Number of logical per-tile kernels batched into this task (1 for
+        plain per-tile tasks).  Set by the step planners when a fusing
+        kernel backend collapses a trailing-update sweep into one task;
+        the cost model multiplies the per-kernel duration by it and
+        calibration divides measured durations back down.
     """
 
     kernel: str
@@ -82,6 +88,7 @@ class KernelTask:
     writes: FrozenSet[TileRef] = frozenset()
     flops: float = 0.0
     call: Optional[object] = None
+    fused: int = 1
 
 
 def build_step_graph(
@@ -107,6 +114,7 @@ def build_step_graph(
             flops=t.flops,
             fn=t.fn,
             call=t.call,
+            fused=t.fused,
         )
     return graph
 
@@ -159,15 +167,20 @@ def kernel_cost_fn(
             return float(nb**3)
 
     if calibration is None:
-        return lambda task: static_flops(task.kernel)
+        return lambda task: static_flops(task.kernel) * max(
+            getattr(task, "fused", 1), 1
+        )
 
     rate = calibration.flops_per_second(nb)
 
     def cost(task: Task) -> float:
+        # Fused tasks batch `fused` logical kernels; calibration tables are
+        # per logical kernel, so scale back up here.
+        m = max(getattr(task, "fused", 1), 1)
         measured = calibration.kernel_duration(task.kernel, nb)
         if measured is not None and measured > 0.0:
-            return float(measured)
-        fl = static_flops(task.kernel)
+            return float(measured) * m
+        fl = static_flops(task.kernel) * m
         return fl / rate if rate else fl
 
     return cost
@@ -384,6 +397,7 @@ class StepPipeline:
                     flops=task.flops,
                     fn=task.fn,
                     call=task.call,
+                    fused=task.fused,
                 )
         assign_task_priorities(graph, self.tile_size, self.calibration)
         if self.collect_graphs:
@@ -433,6 +447,8 @@ def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
             merged.worker_of_task[offset + uid] = w
         for uid, kernel in tr.kernel_of_task.items():
             merged.kernel_of_task[offset + uid] = kernel
+        for uid, m in getattr(tr, "fused_of_task", {}).items():
+            merged.fused_of_task[offset + uid] = m
         for uid, norms in tr.tile_norms.items():
             merged.tile_norms[offset + uid] = dict(norms)
         merged.wall_time += tr.wall_time
@@ -446,6 +462,7 @@ def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
             | set(tr.finish_times)
             | set(tr.worker_of_task)
             | set(tr.kernel_of_task)
+            | set(getattr(tr, "fused_of_task", ()))
             | set(tr.tile_norms)
         )
         offset += (max(seen) + 1) if seen else 0

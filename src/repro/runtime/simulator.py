@@ -78,11 +78,14 @@ class SimulationResult:
 def _task_duration(task: Task, platform: Platform, tile_size: int, calibration) -> float:
     if task.duration_hint is not None:
         return float(task.duration_hint)
+    # Fused tasks batch several logical per-tile kernels; cost tables are
+    # per logical kernel, so the duration scales with the batch count.
+    m = max(getattr(task, "fused", 1), 1)
     if calibration is not None:
         measured = calibration.kernel_duration(task.kernel, tile_size)
         if measured is not None and measured > 0.0:
-            return float(measured)
-    return platform.kernel_duration(task.kernel, task.flops)
+            return float(measured) * m
+    return platform.kernel_duration(task.kernel, task.flops) * m
 
 
 def _dependency_transfer(task: Task, dep: Task, platform: Platform, nb: int) -> Tuple[float, float]:

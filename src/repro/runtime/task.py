@@ -72,6 +72,12 @@ class Task:
         <repro.runtime.graph.TaskGraph.assign_priorities>`.  Priorities
         never override dependencies, so they affect timing only, not
         results.
+    fused:
+        Number of logical per-tile kernels this task batches (1 for a
+        plain per-tile task).  Fused backends collapse a trailing-update
+        sweep into one task; the cost model and the simulator scale the
+        per-kernel duration by this count, and calibration divides the
+        measured duration back down so cost tables stay per-tile.
     """
 
     uid: int
@@ -86,6 +92,7 @@ class Task:
     fn: Optional[Callable[[], None]] = None
     call: Optional[object] = None
     priority: float = 0.0
+    fused: int = 1
     deps: Set[int] = field(default_factory=set)
 
     def touches(self) -> FrozenSet[TileRef]:

@@ -91,6 +91,11 @@ class TileMatrix:
         return self._data
 
     @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the tile storage."""
+        return self._data.dtype
+
+    @property
     def rhs(self) -> Optional[np.ndarray]:
         """The attached right-hand side block (``(N, nrhs)``), if any."""
         return self._rhs
@@ -141,6 +146,32 @@ class TileMatrix:
             raise IndexError(f"tile row {i} outside 0..{self._n - 1}")
         nb = self._nb
         return self._rhs[i * nb : (i + 1) * nb, :]
+
+    def block(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        """View of the rectangular tile block ``[i0:i1, j0:j1)`` (no copy).
+
+        The returned array has shape ``((i1-i0)*nb, (j1-j0)*nb)`` and
+        aliases the underlying storage, so a contiguous run of tile rows in
+        one tile column can be updated with a single stacked GEMM — the
+        fused trailing-update sweep of the batched kernel backends.
+        """
+        if not (0 <= i0 <= i1 <= self._n and 0 <= j0 <= j1 <= self._n):
+            raise IndexError(
+                f"tile block [{i0}:{i1}, {j0}:{j1}] outside {self._n}x{self._n} tile matrix"
+            )
+        nb = self._nb
+        return self._data[i0 * nb : i1 * nb, j0 * nb : j1 * nb]
+
+    def rhs_block(self, i0: int, i1: int) -> np.ndarray:
+        """View of RHS tile rows ``[i0, i1)`` stacked (no copy)."""
+        if self._rhs is None:
+            raise ValueError("this TileMatrix has no attached right-hand side")
+        if not (0 <= i0 <= i1 <= self._n):
+            raise IndexError(
+                f"rhs tile rows [{i0}:{i1}] outside 0..{self._n - 1}"
+            )
+        nb = self._nb
+        return self._rhs[i0 * nb : i1 * nb, :]
 
     def row_block(self, i: int, j_start: int, j_stop: Optional[int] = None) -> np.ndarray:
         """View of tile row ``i`` restricted to tile columns ``[j_start, j_stop)``."""

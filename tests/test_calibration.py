@@ -170,7 +170,7 @@ def test_run_calibration_end_to_end(isolated_calibration):
     assert "getrf" in cal.kernels
     # Persisted and picked up lazily.
     on_disk = json.loads(isolated_calibration.read_text())
-    assert on_disk["version"] == 1
+    assert on_disk["version"] == 2
     reloaded = default_calibration()
     assert reloaded is not None and reloaded.n_samples == cal.n_samples
 
