@@ -81,11 +81,16 @@ from .api import (
     register_tree,
     solve,
 )
+# Imported for its side effect as well as the namespace: registering the
+# `tracing` kernel backend, so worker processes (which import the repro
+# package) can resolve it like any other backend.
+from . import analysis  # noqa: E402
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    "analysis",
     "solve",
     "factor",
     "make_solver",

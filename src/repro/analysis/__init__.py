@@ -1,0 +1,47 @@
+"""Correctness-analysis subsystem for the dataflow runtime.
+
+Three engines behind one entry point, :func:`audit`:
+
+- the **static plan verifier** (:mod:`repro.analysis.verifier`) proves a
+  :class:`~repro.runtime.graph.TaskGraph` is an acyclic, conflict-free,
+  well-typed dataflow plan;
+- the **dynamic race detector** (:mod:`repro.analysis.tracing`) is a
+  ``tracing`` kernel backend that write-guards tile views and raises a
+  structured :class:`RaceReport` on any access a kernel performs outside
+  its declared read/write sets;
+- the **registry lint** (:mod:`repro.analysis.registry_lint`) catches
+  plugin drift (unpicklable kernel calls, unpriceable kernel names,
+  protocol-violating solvers/executors/backends) at import time instead
+  of inside a worker process.
+
+A schedule-perturbation determinism check
+(:mod:`repro.analysis.determinism`) rounds the set out: randomized
+ready-queue orders on the threaded executor must stay bit-identical to
+the inline reference.
+
+Run it from the command line with ``repro-analyze`` (or
+``python -m repro.analysis``).
+"""
+
+from .audit import audit, default_audit_system
+from .determinism import PerturbedThreadedExecutor, determinism_check
+from .registry_lint import lint_registries
+from .report import AuditReport, RaceReport, Violation
+from .tracing import AccessRecorder, TracingBackend, TracingTileMatrix
+from .verifier import expected_fused_sets, verify_graph
+
+__all__ = [
+    "audit",
+    "default_audit_system",
+    "verify_graph",
+    "expected_fused_sets",
+    "lint_registries",
+    "determinism_check",
+    "PerturbedThreadedExecutor",
+    "AccessRecorder",
+    "TracingBackend",
+    "TracingTileMatrix",
+    "AuditReport",
+    "RaceReport",
+    "Violation",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — delegate to the audit CLI."""
+
+from ..api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

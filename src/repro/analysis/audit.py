@@ -1,0 +1,182 @@
+"""`repro.analysis.audit` — one entry point over all analysis engines.
+
+``audit(plan_or_solver)`` accepts either a ready
+:class:`~repro.runtime.graph.TaskGraph` (static verification only) or a
+configured solver.  For a solver it runs, in order:
+
+1. **registry lint** over SOLVERS/EXECUTORS/KERNEL_BACKENDS/KERNELS;
+2. a **combined plan + trace pass**: the solver's ``_plan_step`` is
+   driven step by step through an in-process harness that accumulates
+   every planned task into one cumulative task graph (verified
+   statically) while executing the kernels under the access tracer
+   (planning of step ``k+1`` depends on the numerical results of step
+   ``k``, so planning and execution must interleave);
+3. when the solver has an executor configured, a **real factorization**
+   with step-graph collection enabled, verifying every graph the
+   lookahead pipeline actually flushed (``produces`` keys from earlier
+   flushes legitimately satisfy later ones and are threaded through as
+   external products).
+
+The result is an :class:`~repro.analysis.report.AuditReport`; the audit
+never raises on findings — races detected dynamically are converted to
+violations (and stop the dynamic pass, since the factorization state is
+corrupt beyond the first undeclared access).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..linalg.pivoting import SingularPanelError
+from ..runtime.graph import TaskGraph
+from ..runtime.schedule import build_step_graph
+from ..tiles.distribution import BlockCyclicDistribution
+from ..tiles.tile_matrix import TileMatrix
+from .report import AuditReport, RaceReport, Violation
+from .tracing import TracingBackend
+from .verifier import verify_graph
+
+__all__ = ["audit", "default_audit_system"]
+
+
+def default_audit_system(solver, seed: int = 0, n: Optional[int] = None):
+    """A well-conditioned random system sized for the solver's tiles.
+
+    Diagonally dominant so every solver (including LU without pivoting)
+    factors it without breakdown, with an attached RHS so the RHS task
+    paths are audited too.
+    """
+    if n is None:
+        n = 4 * solver.tile_size
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a += n * np.eye(n)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def _trace_and_verify(
+    solver,
+    a: np.ndarray,
+    b: Optional[np.ndarray],
+    *,
+    dynamic: bool,
+    report: AuditReport,
+) -> None:
+    """Plan every step in-process, execute under the tracer, verify."""
+    from ..core.solver_base import pad_to_tile_multiple
+
+    tracer = (
+        solver.kernel_backend
+        if isinstance(solver.kernel_backend, TracingBackend)
+        else TracingBackend(solver.kernel_backend)
+    )
+    violations: List[Violation] = []
+    with solver._factor_lock:
+        previous_backend = solver.kernel_backend
+        solver.kernel_backend = tracer  # planners batch/fuse through it
+        try:
+            a_work, b_work, _ = pad_to_tile_multiple(a, b, solver.tile_size)
+            tracer.warm(solver.tile_size, a_work.dtype)
+            tiles = TileMatrix.from_dense(a_work, solver.tile_size, rhs=b_work)
+            if dynamic:
+                tiles = tracer.prepare_tiles(tiles)
+            dist = BlockCyclicDistribution(solver.grid, tiles.n)
+            solver._reset()
+            graph = TaskGraph()
+            for k in range(tiles.n):
+                try:
+                    _, tasks = solver._plan_step(tiles, dist, k)
+                except SingularPanelError:
+                    break
+                build_step_graph(tasks, step=k, graph=graph)
+                report.count("tasks", len(tasks))
+                # Step k+1's plan depends on step k's numbers: execute
+                # the kernels now, traced when the dynamic pass is on.
+                if dynamic:
+                    tasks = [tracer.wrap_task(t, k) for t in tasks]
+                try:
+                    for task in tasks:
+                        if task.fn is not None:
+                            task.fn()
+                except RaceReport as race:
+                    violations.append(race.as_violation())
+                    break
+                report.count("steps")
+        finally:
+            solver.kernel_backend = previous_backend
+    report.count("graphs")
+    violations.extend(verify_graph(graph))
+    report.add("verifier", [v for v in violations if not v.kind.startswith("undeclared")])
+    if dynamic:
+        report.add(
+            "tracer", [v for v in violations if v.kind.startswith("undeclared")]
+        )
+
+
+def _verify_executed_graphs(
+    solver, a: np.ndarray, b: Optional[np.ndarray], report: AuditReport
+) -> None:
+    """Run the real (executor-backed) factorization; verify flushed graphs."""
+    violations: List[Violation] = []
+    previous = solver.collect_step_graphs
+    solver.collect_step_graphs = True
+    try:
+        solver.factor(a, b)
+    finally:
+        solver.collect_step_graphs = previous
+    produced: Set[object] = set()
+    for graph in solver.step_graphs:
+        report.count("graphs")
+        report.count("tasks", len(graph))
+        violations.extend(
+            verify_graph(graph, external_products=frozenset(produced))
+        )
+        for task in graph.tasks:
+            if task.call is not None and task.call.produces is not None:
+                produced.add(task.call.produces)
+    report.add("verifier", violations)
+
+
+def audit(
+    plan_or_solver,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    *,
+    dynamic: bool = True,
+    lint: bool = True,
+    seed: int = 0,
+    n: Optional[int] = None,
+) -> AuditReport:
+    """Audit a task graph or a configured solver; return an AuditReport.
+
+    For a :class:`TaskGraph`, runs the static plan verifier only.  For a
+    solver, runs the registry lint (``lint=False`` to skip), the combined
+    plan+trace pass (``dynamic=False`` for plan-only), and — when the
+    solver has an executor configured — verifies the task graphs of a
+    real executor-backed factorization.  ``a``/``b`` default to a
+    well-conditioned random system (``seed``, order ``n``).
+    """
+    report = AuditReport()
+    if isinstance(plan_or_solver, TaskGraph):
+        report.count("graphs")
+        report.count("tasks", len(plan_or_solver))
+        report.add("verifier", verify_graph(plan_or_solver))
+        return report
+
+    solver = plan_or_solver
+    if lint:
+        from .registry_lint import lint_registries_with_coverage
+
+        found, coverage = lint_registries_with_coverage()
+        report.add("registry", found)
+        for key, count in coverage.items():
+            report.count(f"registry.{key}", count)
+    if a is None:
+        a, b = default_audit_system(solver, seed=seed, n=n)
+    _trace_and_verify(solver, a, b, dynamic=dynamic, report=report)
+    if solver.executor is not None:
+        _verify_executed_graphs(solver, a, b, report)
+    return report

@@ -261,7 +261,7 @@ class LUIncPivSolver(TiledSolverBase):
         panel_reads = frozenset((i, k) for i in sub_rows)
         keys_t = tuple(inproc_keys)
         consumes = tuple(pair_keys)
-        bname = backend.name
+        bname = backend.descriptor_name
         for j in range(k + 1, n):
             def do_ssssm_chain(j=j) -> None:
                 pairs = tuple(factors[key] for key in keys_t)

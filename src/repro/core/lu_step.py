@@ -188,7 +188,7 @@ def lu_step_tasks(
                     writes=col_refs,
                     fused=m,
                     call=KernelCall(
-                        "fused.lu_gemm_sweep", args=(backend.name, k, j, i0, i1)
+                        "fused.lu_gemm_sweep", args=(backend.descriptor_name, k, j, i0, i1)
                     ),
                 )
             )
@@ -206,7 +206,7 @@ def lu_step_tasks(
                     writes=rhs_refs,
                     fused=m,
                     call=KernelCall(
-                        "fused.lu_gemm_rhs_sweep", args=(backend.name, k, i0, i1)
+                        "fused.lu_gemm_rhs_sweep", args=(backend.descriptor_name, k, i0, i1)
                     ),
                 )
             )

@@ -227,7 +227,7 @@ def qr_step_tasks(
         """
         if not fuse:
             return
-        bname = backend.name
+        bname = backend.descriptor_name
         for j in range(k + 1, n):
             ops = chains[j]
             if not ops:

@@ -212,11 +212,13 @@ class TiledSolverBase(ABC):
                 )
             self._pipeline.advance(k)
             record, tasks = self._plan_step(tiles, dist, k)
+            tasks = [self.kernel_backend.wrap_task(t, k) for t in tasks]
             self._pipeline.submit(
                 tasks, step=k, tiles=tiles if self.track_growth else None
             )
             return record
         record, tasks = self._plan_step(tiles, dist, k)
+        tasks = [self.kernel_backend.wrap_task(t, k) for t in tasks]
         run_step_tasks(tasks, executor=None, step=k)
         self._last_written = written_tiles(tasks)
         return record
@@ -287,6 +289,9 @@ class TiledSolverBase(ABC):
             self.executor.bind(shared.meta)
         else:
             tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
+        # Instrumenting backends (e.g. the access tracer) interpose proxied
+        # tile views here; compute backends return the tiles unchanged.
+        tiles = self.kernel_backend.prepare_tiles(tiles)
         dist = BlockCyclicDistribution(self.grid, tiles.n)
         self._reset()
         self.step_traces = []

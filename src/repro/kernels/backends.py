@@ -89,6 +89,18 @@ class KernelBackend:
     name = "abstract"
     fuses = False
 
+    @property
+    def descriptor_name(self) -> str:
+        """Backend name embedded in ``fused.*`` task descriptors.
+
+        Worker processes re-resolve this name to execute fused tasks, so
+        it must name a *compute* backend.  Instrumenting wrappers (the
+        access tracer) override it to their inner backend's name — worker
+        processes execute descriptors directly and cannot be traced, so
+        shipping the wrapper's own name would be wrong twice over.
+        """
+        return self.name
+
     def warm(self, nb: int, dtype: Any = np.float64) -> None:
         """Prime any compiled kernels for ``(nb, dtype)``.
 
@@ -96,6 +108,32 @@ class KernelBackend:
         windows so first-call compilation can never poison cost tables or
         benchmarks.  The base implementation is a no-op.
         """
+
+    # ------------------------------------------------------------------ #
+    # Instrumentation hooks (no-ops for compute backends)
+    # ------------------------------------------------------------------ #
+    def prepare_tiles(self, tiles):
+        """Hook: wrap or replace the tile matrix before a factorization.
+
+        Called by :class:`~repro.core.solver_base.TiledSolverBase` right
+        after the working tiles are materialized and before any step is
+        planned, so an instrumenting backend (e.g. the access-tracing
+        backend in :mod:`repro.analysis`) can interpose proxied tile
+        views.  Must return a tile matrix aliasing the same storage; the
+        base implementation returns ``tiles`` unchanged.
+        """
+        return tiles
+
+    def wrap_task(self, task, step: int):
+        """Hook: wrap or replace a planned kernel task before it runs.
+
+        Called once per planned task (inline and pipelined paths alike)
+        before submission, so an instrumenting backend can wrap the task
+        closure with bookkeeping.  Must return a task with identical
+        declared ``reads``/``writes``; the base implementation returns
+        ``task`` unchanged.
+        """
+        return task
 
     # ------------------------------------------------------------------ #
     # Fused-sweep operations (only called when ``fuses`` is True)

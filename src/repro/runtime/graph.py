@@ -12,12 +12,27 @@ drivers.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .task import Task, TileRef
 
-__all__ = ["TaskGraph"]
+__all__ = ["CycleError", "TaskGraph"]
+
+
+class CycleError(ValueError):
+    """A task graph has no valid topological order.
+
+    Raised by :meth:`TaskGraph.topological_order` when the dependency
+    edges contain a cycle (or reference tasks that do not exist);
+    ``task_uids`` names the tasks that could not be ordered — the cycle
+    members plus anything downstream of them.
+    """
+
+    def __init__(self, message: str, task_uids: Iterable[int] = ()) -> None:
+        super().__init__(message)
+        self.task_uids: Tuple[int, ...] = tuple(task_uids)
 
 
 class TaskGraph:
@@ -126,14 +141,46 @@ class TaskGraph:
     # Analysis
     # ------------------------------------------------------------------ #
     def topological_order(self) -> List[int]:
-        """Task uids in a valid execution order (submission order is one)."""
-        # Submission order is already topological because dependencies only
-        # ever point to earlier tasks; assert that invariant cheaply.
+        """Task uids in a valid execution order (submission order is one).
+
+        Graphs built through :meth:`add_task` only ever have backward
+        dependencies, so submission order is returned unchanged.  Graphs
+        whose edges were edited by hand (or corrupted) fall back to a
+        Kahn sort; if no order exists this raises :class:`CycleError`
+        naming the tasks that could not be ordered.
+        """
+        if all(d < t.uid for t in self._tasks for d in t.deps):
+            return [t.uid for t in self._tasks]
+        return self._kahn_order()
+
+    def _kahn_order(self) -> List[int]:
+        n = len(self._tasks)
         for t in self._tasks:
-            for d in t.deps:
-                if d >= t.uid:
-                    raise ValueError(f"task {t.uid} depends on later task {d}")
-        return [t.uid for t in self._tasks]
+            bad = sorted(d for d in t.deps if not 0 <= d < n)
+            if bad:
+                raise CycleError(
+                    f"task {t.uid} depends on unknown task(s) {bad}", (t.uid,)
+                )
+        indegree = {t.uid: len(t.deps) for t in self._tasks}
+        succ = self.successors()
+        ready = [uid for uid, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            uid = heapq.heappop(ready)
+            order.append(uid)
+            for s in succ[uid]:
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    heapq.heappush(ready, s)
+        if len(order) != n:
+            stuck = sorted(set(indegree) - set(order))
+            raise CycleError(
+                f"task graph has a dependency cycle; {len(stuck)} task(s) "
+                f"cannot be ordered: uids {stuck}",
+                stuck,
+            )
+        return order
 
     def blevels(
         self, cost: Optional[Callable[[Task], float]] = None

@@ -425,6 +425,32 @@ def written_tiles(tasks: Iterable[KernelTask]) -> FrozenSet[TileRef]:
     return frozenset(out)
 
 
+def _check_trace_consistency(tr: ExecutionTrace) -> None:
+    """Reject traces whose fused bookkeeping contradicts the kernel map.
+
+    Executors record ``kernel_of_task`` for every task they start and add
+    a ``fused_of_task`` entry (the per-task kernel multiplicity, always
+    >= 2) only for fused tasks.  A trace that violates either invariant
+    was corrupted upstream; merging it would silently skew calibration
+    (fused durations are split back into per-kernel samples), so fail
+    loudly here instead.
+    """
+    fused = getattr(tr, "fused_of_task", {})
+    orphans = sorted(uid for uid in fused if uid not in tr.kernel_of_task)
+    if orphans:
+        raise ValueError(
+            "inconsistent ExecutionTrace: fused_of_task names task uids "
+            f"{orphans} that kernel_of_task never recorded"
+        )
+    bad_counts = sorted(uid for uid, m in fused.items() if int(m) < 2)
+    if bad_counts:
+        raise ValueError(
+            "inconsistent ExecutionTrace: fused_of_task records a "
+            f"multiplicity < 2 for task uids {bad_counts} (fused tasks "
+            "always batch at least two kernels)"
+        )
+
+
 def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
     """Concatenate per-step traces into one (uids offset per step).
 
@@ -439,6 +465,7 @@ def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
     merged = ExecutionTrace()
     offset = 0
     for tr in traces:
+        _check_trace_consistency(tr)
         for uid, t in tr.start_times.items():
             merged.start_times[offset + uid] = t
         for uid, t in tr.finish_times.items():

@@ -1,0 +1,597 @@
+"""Tests of the correctness-analysis subsystem (`repro.analysis`).
+
+Covers the static plan verifier (clean plans for all five solvers over
+the Table III special-matrix registry, plus deliberately corrupted plans
+it must flag), the dynamic access-tracing race detector (undeclared
+reads/writes raise structured RaceReports; clean factorizations trace
+bit-identically to the numpy reference), the registry lint (clean
+built-ins, injected drift detected), the schedule-perturbation
+determinism check, the `CycleError` / `merge_traces` runtime hardening,
+and the `repro-analyze` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    AuditReport,
+    PerturbedThreadedExecutor,
+    RaceReport,
+    TracingBackend,
+    TracingTileMatrix,
+    audit,
+    determinism_check,
+    lint_registries,
+    verify_graph,
+)
+from repro.analysis.registry_lint import TASK_KERNELS_OF_OP
+from repro.api.registry import KERNEL_BACKENDS, SOLVERS
+from repro.core.solver_base import pad_to_tile_multiple
+from repro.kernels.backends import KernelBackend, resolve_backend
+from repro.kernels.dispatch import KERNELS, KernelCall
+from repro.matrices import registry as matrix_registry
+from repro.runtime.executor import ExecutionTrace, ThreadedExecutor
+from repro.runtime.graph import CycleError, TaskGraph
+from repro.runtime.schedule import KernelTask, build_step_graph, merge_traces
+from repro.tiles.distribution import BlockCyclicDistribution
+from repro.tiles.tile_matrix import TileMatrix
+
+ALGORITHMS = ["hybrid", "lupp", "lu_nopiv", "lu_incpiv", "hqr"]
+
+#: Table III matrices on which all five solvers complete at small orders.
+SPECIAL_MATRICES = ["circul", "condex", "lehmer"]
+
+
+def _system(n=32, seed=0, dominant=False):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    if dominant:
+        a += n * np.eye(n)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def _solver(algorithm, tile_size=8, **kwargs):
+    """Construct a solver directly (no facade, no REPRO_EXECUTOR fallback)."""
+    return SOLVERS.get(algorithm)(tile_size=tile_size, **kwargs)
+
+
+def _capture_plan(solver, a, b=None):
+    """Plan + execute every step inline; return the cumulative TaskGraph."""
+    a_work, b_work, _ = pad_to_tile_multiple(a, b, solver.tile_size)
+    tiles = TileMatrix.from_dense(a_work, solver.tile_size, rhs=b_work)
+    dist = BlockCyclicDistribution(solver.grid, tiles.n)
+    solver._reset()
+    graph = TaskGraph()
+    for k in range(tiles.n):
+        _, tasks = solver._plan_step(tiles, dist, k)
+        build_step_graph(tasks, step=k, graph=graph)
+        for task in tasks:
+            task.fn()
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# CycleError satellite
+# --------------------------------------------------------------------------- #
+class TestCycleError:
+    def test_submission_order_is_topological(self):
+        g = TaskGraph()
+        g.add_task("a", 0, writes={(0, 0)})
+        g.add_task("b", 0, reads={(0, 0)}, writes={(1, 0)})
+        assert g.topological_order() == [0, 1]
+
+    def test_forward_edges_fall_back_to_kahn(self):
+        g = TaskGraph()
+        g.add_task("a", 0, writes={(0, 0)})
+        g.add_task("b", 0, writes={(1, 1)})
+        g.add_task("c", 0, writes={(2, 2)})
+        g.task(0).deps.add(2)  # acyclic, but forward in submission order
+        order = g.topological_order()
+        assert sorted(order) == [0, 1, 2]
+        assert order.index(2) < order.index(0)
+
+    def test_cycle_raises_cycle_error_naming_uids(self):
+        g = TaskGraph()
+        g.add_task("a", 0, writes={(0, 0)})
+        g.add_task("b", 0, reads={(0, 0)}, writes={(1, 1)})
+        g.task(0).deps.add(1)  # 0 -> 1 already; now 1 -> 0 too
+        with pytest.raises(CycleError) as exc_info:
+            g.topological_order()
+        assert exc_info.value.task_uids == (0, 1)
+        assert isinstance(exc_info.value, ValueError)  # backward compatible
+
+    def test_unknown_dependency_raises(self):
+        g = TaskGraph()
+        g.add_task("a", 0, writes={(0, 0)})
+        g.task(0).deps.add(7)
+        with pytest.raises(CycleError, match="unknown task"):
+            g.topological_order()
+
+    def test_downstream_of_cycle_is_named(self):
+        g = TaskGraph()
+        g.add_task("a", 0, writes={(0, 0)})
+        g.add_task("b", 0, reads={(0, 0)}, writes={(1, 1)})
+        g.add_task("c", 0, reads={(1, 1)}, writes={(2, 2)})
+        g.task(0).deps.add(1)
+        with pytest.raises(CycleError) as exc_info:
+            g.topological_order()
+        # The cycle members and the task blocked behind them.
+        assert exc_info.value.task_uids == (0, 1, 2)
+
+
+# --------------------------------------------------------------------------- #
+# merge_traces hardening satellite
+# --------------------------------------------------------------------------- #
+class TestMergeTraceConsistency:
+    @staticmethod
+    def _trace(kernels, fused=None):
+        tr = ExecutionTrace()
+        for uid, kernel in kernels.items():
+            tr.kernel_of_task[uid] = kernel
+            tr.start_times[uid] = 0.0
+            tr.finish_times[uid] = 1.0
+        for uid, m in (fused or {}).items():
+            tr.fused_of_task[uid] = m
+        return tr
+
+    def test_consistent_traces_merge_with_offsets(self):
+        t1 = self._trace({0: "gemm", 1: "getrf"}, fused={0: 3})
+        t2 = self._trace({0: "trsm"})
+        merged = merge_traces([t1, t2])
+        assert merged.kernel_of_task == {0: "gemm", 1: "getrf", 2: "trsm"}
+        assert merged.fused_of_task == {0: 3}
+
+    def test_fused_entry_without_kernel_entry_rejected(self):
+        tr = self._trace({0: "gemm"}, fused={0: 2})
+        tr.fused_of_task[5] = 4  # task 5 was never recorded as started
+        with pytest.raises(ValueError, match=r"\[5\].*kernel_of_task"):
+            merge_traces([tr])
+
+    def test_fused_multiplicity_below_two_rejected(self):
+        tr = self._trace({0: "gemm"}, fused={0: 1})
+        with pytest.raises(ValueError, match="multiplicity"):
+            merge_traces([tr])
+
+    def test_real_fused_traces_stay_consistent(self):
+        a, b = _system(48, seed=5)
+        solver = _solver(
+            "lupp",
+            kernel_backend="fused",
+            executor=ThreadedExecutor(workers=2),
+        )
+        solver.factor(a, b)
+        merged = merge_traces(solver.step_traces)
+        assert set(merged.fused_of_task) <= set(merged.kernel_of_task)
+        assert all(m >= 2 for m in merged.fused_of_task.values())
+
+
+# --------------------------------------------------------------------------- #
+# Plan verifier: clean plans
+# --------------------------------------------------------------------------- #
+class TestVerifierCleanPlans:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("matrix", SPECIAL_MATRICES)
+    @pytest.mark.parametrize("n,nb", [(24, 4), (32, 8)])
+    def test_special_matrix_plans_verify_clean(self, algorithm, matrix, n, nb):
+        a = matrix_registry.build(matrix, n)
+        b = np.ones(n)
+        solver = _solver(algorithm, tile_size=nb)
+        graph = _capture_plan(solver, a, b)
+        assert verify_graph(graph) == []
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("backend", ["numpy", "fused"])
+    def test_audit_clean_inline(self, algorithm, backend):
+        solver = _solver(algorithm, tile_size=8, kernel_backend=backend)
+        report = audit(solver, lint=False)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.checked["tasks"] > 0
+
+    @pytest.mark.parametrize("algorithm", ["hybrid", "lupp", "hqr"])
+    @pytest.mark.parametrize("lookahead", [0, 2])
+    def test_audit_clean_threaded_lookahead(self, algorithm, lookahead):
+        solver = _solver(
+            algorithm,
+            tile_size=8,
+            lookahead=lookahead,
+            executor=ThreadedExecutor(workers=2),
+        )
+        report = audit(solver, lint=False)
+        assert report.ok, [str(v) for v in report.violations]
+        # The executor pass verified at least the flushed pipeline graphs.
+        assert report.checked["graphs"] >= 2
+
+    def test_audit_accepts_task_graph_directly(self):
+        solver = _solver("lupp", tile_size=8)
+        a, b = _system(32, seed=1)
+        graph = _capture_plan(solver, a, b)
+        report = audit(graph)
+        assert isinstance(report, AuditReport)
+        assert report.ok
+        assert report.checked["tasks"] == len(graph)
+
+
+# --------------------------------------------------------------------------- #
+# Plan verifier: corrupted plans must be flagged
+# --------------------------------------------------------------------------- #
+class TestVerifierCorruptedPlans:
+    @pytest.fixture()
+    def lupp_plan(self):
+        a, b = _system(32, seed=2)
+        return _capture_plan(_solver("lupp", tile_size=8), a, b)
+
+    def test_dropped_read_edge_is_flagged(self, lupp_plan):
+        # Find a task that depends on the writer of one of its reads and
+        # sever that edge: the classic under-declared dependency.
+        graph = lupp_plan
+        victim = writer = None
+        for t in graph.tasks:
+            for d in sorted(t.deps):
+                if graph.task(d).writes & t.reads:
+                    victim, writer = t, d
+                    break
+            if victim:
+                break
+        assert victim is not None
+        victim.deps.discard(writer)
+        kinds = {v.kind for v in verify_graph(graph)}
+        assert "read-write-conflict" in kinds or "write-write-conflict" in kinds
+
+    def test_cycle_is_flagged(self, lupp_plan):
+        last = lupp_plan.tasks[-1]
+        lupp_plan.task(0).deps.add(last.uid)
+        violations = verify_graph(lupp_plan)
+        assert [v.kind for v in violations] == ["cycle"]
+        assert 0 in violations[0].tasks
+
+    def test_duplicate_unordered_writes_flagged(self):
+        g = TaskGraph()
+        g.add_task("w1", 0, writes={(0, 0)})
+        g.add_task("w2", 0, writes={(0, 0)})
+        g.task(1).deps.clear()  # two writers, no ordering edge
+        kinds = [v.kind for v in verify_graph(g)]
+        assert kinds == ["write-write-conflict"]
+
+    def test_wrong_fused_union_is_flagged(self):
+        a, b = _system(32, seed=3)
+        solver = _solver("lupp", tile_size=8, kernel_backend="fused")
+        graph = _capture_plan(solver, a, b)
+        fused = [t for t in graph.tasks if t.fused > 1]
+        assert fused
+        victim = fused[0]
+        victim.reads = frozenset(set(victim.reads) - {next(iter(victim.writes))})
+        kinds = {v.kind for v in verify_graph(graph)}
+        assert "fused-union-mismatch" in kinds
+
+    def test_wrong_fused_count_is_flagged(self):
+        a, b = _system(32, seed=3)
+        solver = _solver("hqr", tile_size=8, kernel_backend="fused")
+        graph = _capture_plan(solver, a, b)
+        victim = next(t for t in graph.tasks if t.fused > 1)
+        victim.fused += 1
+        kinds = {v.kind for v in verify_graph(graph)}
+        assert "fused-count-mismatch" in kinds
+
+    def test_fused_task_without_descriptor_is_flagged(self):
+        g = TaskGraph()
+        g.add_task("gemm", 0, reads={(1, 0)}, writes={(1, 1)}, fused=3)
+        kinds = [v.kind for v in verify_graph(g)]
+        assert kinds == ["fused-descriptor-missing"]
+
+    def test_missing_producer_is_flagged(self):
+        g = TaskGraph()
+        key = ("geqrt", 0, 0)
+        g.add_task(
+            "unmqr",
+            0,
+            reads={(0, 0)},
+            writes={(0, 1)},
+            call=KernelCall("qr.unmqr", args=(0,), consumes=(key,)),
+        )
+        kinds = [v.kind for v in verify_graph(g)]
+        assert kinds == ["missing-producer"]
+        # The same key supplied by an earlier pipeline flush is legal.
+        assert verify_graph(g, external_products=frozenset({key})) == []
+
+    def test_unordered_producer_is_flagged(self):
+        g = TaskGraph()
+        key = ("geqrt", 0, 0)
+        g.add_task(
+            "geqrt",
+            0,
+            writes={(0, 0)},
+            call=KernelCall("qr.geqrt", args=(0, 0), produces=key),
+        )
+        g.add_task(
+            "unmqr",
+            0,
+            reads={(1, 1)},
+            writes={(1, 2)},
+            call=KernelCall("qr.unmqr", args=(1,), consumes=(key,)),
+        )
+        # Disjoint tiles: no inferred edge between producer and consumer.
+        kinds = [v.kind for v in verify_graph(g)]
+        assert kinds == ["unordered-producer"]
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic access tracing
+# --------------------------------------------------------------------------- #
+class TestTracingBackend:
+    @staticmethod
+    def _traced_tiles(backend, n=16, nb=8):
+        return backend.prepare_tiles(TileMatrix.from_dense(np.eye(n), nb))
+
+    def test_undeclared_tile_write_raises_race_report(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend)
+
+        def bad_kernel():
+            tiles.set_tile(0, 1, np.ones((8, 8)))  # only (0, 0) declared
+
+        task = KernelTask(
+            "bad_kernel",
+            bad_kernel,
+            reads=frozenset({(0, 0)}),
+            writes=frozenset({(0, 0)}),
+        )
+        with pytest.raises(RaceReport) as exc_info:
+            backend.wrap_task(task, step=0).fn()
+        report = exc_info.value
+        assert report.kernel == "bad_kernel"
+        assert report.tile == (0, 1)
+        assert report.access == "write"
+        assert backend.reports == [report]
+        assert report.as_violation().kind == "undeclared-write"
+
+    def test_undeclared_read_raises_race_report(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend)
+
+        def bad_kernel():
+            float(tiles.tile(1, 0).sum())  # not declared at all
+
+        task = KernelTask(
+            "bad_reader", bad_kernel, reads=frozenset({(0, 0)}), writes=frozenset()
+        )
+        with pytest.raises(RaceReport, match="undeclared read"):
+            backend.wrap_task(task, step=0).fn()
+
+    def test_inplace_write_through_guarded_view_raises(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend)
+
+        def bad_kernel():
+            tiles.tile(1, 1)[...] = 5.0  # declared read-only
+
+        task = KernelTask(
+            "bad_writer",
+            bad_kernel,
+            reads=frozenset({(1, 1)}),
+            writes=frozenset(),
+        )
+        with pytest.raises(RaceReport, match="read-guarded"):
+            backend.wrap_task(task, step=0).fn()
+
+    def test_declared_accesses_pass_and_are_recorded(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend)
+
+        def good_kernel():
+            tiles.set_tile(0, 1, tiles.tile(0, 0) * 2.0)
+
+        task = KernelTask(
+            "good",
+            good_kernel,
+            reads=frozenset({(0, 0)}),
+            writes=frozenset({(0, 1)}),
+        )
+        backend.wrap_task(task, step=0).fn()
+        assert backend.reports == []
+        [record] = backend.recorder.records
+        assert record.touched == {(0, 0), (0, 1)}
+        assert record.written == {(0, 1)}
+        assert backend.undeclared_accesses() == []
+
+    def test_out_of_context_access_is_unguarded(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend)
+        tiles.tile(1, 0)[...] = 7.0  # planning-time access: no context
+        assert float(tiles.tile(1, 0).mean()) == 7.0
+        assert backend.recorder.records == []
+
+    def test_block_views_guard_on_the_whole_range(self):
+        backend = TracingBackend()
+        tiles = self._traced_tiles(backend, n=24, nb=8)
+
+        def sweep():
+            block = tiles.block(1, 3, 0, 1)
+            block += 1.0
+
+        task = KernelTask(
+            "sweep",
+            sweep,
+            reads=frozenset({(1, 0), (2, 0)}),
+            writes=frozenset({(1, 0)}),  # (2, 0) missing from writes
+        )
+        with pytest.raises(RaceReport):
+            backend.wrap_task(task, step=0).fn()
+
+    def test_tracing_backend_is_registered_and_resolves(self):
+        assert "tracing" in KERNEL_BACKENDS
+        backend = resolve_backend("tracing")
+        assert isinstance(backend, TracingBackend)
+        assert backend.name == "tracing"
+        # Fused descriptors must carry a compute backend's name.
+        assert backend.descriptor_name == "numpy"
+        with pytest.raises(ValueError, match="nested"):
+            TracingBackend(TracingBackend())
+
+    @pytest.mark.parametrize("inner", ["numpy", "fused"])
+    def test_traced_factorization_matches_inner_backend(self, inner):
+        a, b = _system(48, seed=7)
+        reference = _solver("hybrid", kernel_backend=inner).factor(a, b)
+        traced_backend = TracingBackend(inner)
+        traced = _solver("hybrid", kernel_backend=traced_backend).factor(a, b)
+        assert np.array_equal(reference.tiles.array, traced.tiles.array)
+        assert np.array_equal(reference.tiles.rhs, traced.tiles.rhs)
+        assert traced_backend.reports == []
+        assert traced_backend.recorder.records  # kernels were actually traced
+
+    def test_traced_factorization_on_threaded_executor(self):
+        a, b = _system(48, seed=8)
+        reference = _solver("lupp").factor(a, b)
+        traced = _solver(
+            "lupp",
+            kernel_backend="tracing",
+            executor=ThreadedExecutor(workers=2),
+        ).factor(a, b)
+        assert np.array_equal(reference.tiles.array, traced.tiles.array)
+
+    def test_wrap_preserves_storage_aliasing(self):
+        base = TileMatrix.from_dense(np.zeros((16, 16)), 8)
+        traced = TracingTileMatrix.wrap(base, TracingBackend().recorder)
+        traced.tile(0, 0)[...] = 3.0
+        assert float(base.tile(0, 0).mean()) == 3.0
+
+    def test_audit_detects_seeded_undeclared_write(self):
+        """End-to-end: a solver whose plan under-declares a write is caught."""
+
+        class CorruptedLUPP(SOLVERS.get("lupp")):
+            def _plan_step(self, tiles, dist, k):
+                record, tasks = super()._plan_step(tiles, dist, k)
+                corrupted = []
+                for t in tasks:
+                    if t.kernel == "gemm" and t.fused == 1:
+                        # Drop one tile from the declared write set while
+                        # the kernel body keeps writing it.
+                        t = KernelTask(
+                            t.kernel,
+                            t.fn,
+                            reads=t.reads,
+                            writes=frozenset(),
+                            flops=t.flops,
+                            call=t.call,
+                            fused=t.fused,
+                        )
+                    corrupted.append(t)
+                return record, corrupted
+
+        solver = CorruptedLUPP(tile_size=8)
+        a, b = _system(32, seed=4)
+        report = audit(solver, a, b, lint=False)
+        kinds = {v.kind for v in report.violations}
+        assert not report.ok
+        assert kinds & {"undeclared-write", "read-write-conflict"}
+
+
+# --------------------------------------------------------------------------- #
+# Registry lint
+# --------------------------------------------------------------------------- #
+class TestRegistryLint:
+    def test_builtin_registries_are_clean(self):
+        assert lint_registries() == []
+
+    def test_every_registered_kernel_op_is_mapped(self):
+        assert set(KERNELS) == set(TASK_KERNELS_OF_OP)
+
+    def test_unmapped_kernel_op_is_flagged(self):
+        name = "test.ephemeral_op"
+
+        def op(tiles, inputs):  # pragma: no cover - never executed
+            return None
+
+        KERNELS[name] = op
+        try:
+            kinds = {v.kind for v in lint_registries()}
+            assert "unmapped-kernel-op" in kinds
+        finally:
+            del KERNELS[name]
+        assert lint_registries() == []
+
+    def test_protocol_violating_backend_is_flagged(self):
+        class BrokenBackend(KernelBackend):
+            # fuses=True without implementing any sweep method, and a
+            # name that resolves to nothing.
+            name = "broken_test_backend"
+            fuses = True
+
+        KERNEL_BACKENDS.register("broken_test_backend")(BrokenBackend)
+        try:
+            violations = [
+                v for v in lint_registries() if v.subject == "broken_test_backend"
+            ]
+            kinds = {v.kind for v in violations}
+            assert kinds == {"backend-protocol"}
+            assert len(violations) >= 6  # six missing sweep methods
+        finally:
+            KERNEL_BACKENDS.unregister("broken_test_backend")
+        assert lint_registries() == []
+
+
+# --------------------------------------------------------------------------- #
+# Schedule-perturbation determinism
+# --------------------------------------------------------------------------- #
+class TestDeterminism:
+    @pytest.mark.parametrize("algorithm", ["hybrid", "lupp"])
+    def test_randomized_ready_orders_stay_bit_identical(self, algorithm):
+        a, b = _system(32, seed=11)
+        violations = determinism_check(
+            lambda executor: _solver(algorithm, executor=executor),
+            a,
+            b,
+            rounds=2,
+            workers=3,
+        )
+        assert violations == []
+
+    def test_perturbed_executor_overwrites_priorities(self):
+        g = TaskGraph()
+        done = []
+        g.add_task("a", 0, writes={(0, 0)}, fn=lambda: done.append("a"))
+        g.add_task("b", 0, reads={(0, 0)}, writes={(1, 1)}, fn=lambda: done.append("b"))
+        executor = PerturbedThreadedExecutor(workers=2, seed=0)
+        executor.run(g)
+        assert done == ["a", "b"]  # dependencies still gate readiness
+        priorities = {t.priority for t in g.tasks}
+        assert all(0.0 <= p < 1.0 for p in priorities)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_cli_audits_one_algorithm(self, capsys):
+        from repro.api.cli import main
+
+        rc = main(["--algorithm", "lupp", "--tile-size", "4", "--n", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "AUDIT PASSED" in out
+
+    def test_cli_runs_via_module(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--algorithm",
+                "lu_nopiv",
+                "--tile-size",
+                "4",
+                "--n",
+                "16",
+                "--skip-lint",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "AUDIT PASSED" in proc.stdout
