@@ -1,0 +1,68 @@
+"""Benchmark: static resource analysis across the solver matrix.
+
+Runs the placement + liveness audit for every solver on two process
+grids and records the certified resource quantities — peak-memory bound,
+cross-owner communication volume, critical-path comm seconds, pivot
+statistics — into ``BENCH_analysis.json`` at the repo root, so the
+resource trajectory of the plans (not just their wall time) is tracked
+across commits.  The analysis itself is also timed: it must stay cheap
+enough to run per-solve as an admission check.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import analyze_liveness, analyze_placement, assign_owners, capture_plan
+from repro.api.facade import make_solver
+from repro.runtime.platform import dancer_platform
+
+ALGORITHMS = ("lu_nopiv", "lupp", "lu_incpiv", "hqr", "hybrid")
+GRIDS = ("2x2", "4x1")
+
+
+@pytest.mark.benchmark(group="resource-analysis")
+def test_resource_analysis_matrix(bench_config, bench_record):
+    nb = bench_config.tile_size
+    rows = []
+    for algorithm in ALGORITHMS:
+        for grid in GRIDS:
+            solver = make_solver(algorithm, tile_size=nb, grid=grid)
+            graph, ctx, dist = capture_plan(solver)
+            t0 = time.perf_counter()
+            live_violations, cert = analyze_liveness(
+                [graph], ctx, mode="sequential"
+            )
+            assign_owners([graph], dist, ctx)
+            place_violations, summary = analyze_placement(
+                [graph], dist, ctx, platform=dancer_platform(dist.grid)
+            )
+            elapsed = time.perf_counter() - t0
+            assert not live_violations and not place_violations
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "grid": grid,
+                    "n_tiles": ctx.n,
+                    "nb": ctx.nb,
+                    "peak_bytes": cert.peak_bytes,
+                    "product_peak_bytes": cert.product_peak_bytes,
+                    "cross_messages": summary.cross_messages,
+                    "cross_bytes": summary.cross_bytes,
+                    "product_bytes": summary.product_bytes,
+                    "comm_seconds": summary.comm_seconds,
+                    "critical_path_comm_seconds": summary.critical_path_comm_seconds,
+                    "panel_wide_pivot_steps": summary.panel_wide_pivot_steps,
+                    "diagonal_pivot_steps": summary.diagonal_pivot_steps,
+                    "analysis_seconds": elapsed,
+                }
+            )
+            print(
+                f"{algorithm:>9} {grid}: peak={cert.peak_bytes}B "
+                f"comm={summary.cross_bytes + summary.product_bytes}B "
+                f"cp={summary.critical_path_comm_seconds:.2e}s "
+                f"({elapsed * 1e3:.1f} ms)"
+            )
+    bench_record("analysis", {"nb": nb, "rows": rows})

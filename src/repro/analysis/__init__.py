@@ -19,12 +19,50 @@ A schedule-perturbation determinism check
 ready-queue orders on the threaded executor must stay bit-identical to
 the inline reference.
 
+On top of those, the **static resource analyzer** certifies resource
+behaviour of a plan:
+
+- :mod:`repro.analysis.abstract` — abstract interpretation over (tile
+  shape, dtype): conformability of every kernel, end-to-end dtype
+  preservation, fused-sweep shape consistency;
+- :mod:`repro.analysis.liveness` — tile/product liveness intervals and a
+  certified peak-memory bound, cross-checked against execution traces;
+- :mod:`repro.analysis.placement` — owner-computes placement under the
+  block-cyclic distribution, the LU diagonal-domain pivoting invariant,
+  and per-edge communication volume priced by the platform model.
+
 Run it from the command line with ``repro-analyze`` (or
 ``python -m repro.analysis``).
 """
 
-from .audit import audit, default_audit_system
+from .abstract import (
+    AbstractResult,
+    AbstractTile,
+    initial_state,
+    interpret_graph,
+    interpret_graphs,
+    make_context,
+    signature_effect,
+)
+from .audit import audit, capture_plan, default_audit_system
+from .corruption import run_corruption_suite
 from .determinism import PerturbedThreadedExecutor, determinism_check
+from .liveness import (
+    MemoryCertificate,
+    ProductInterval,
+    analyze_liveness,
+    certify_peak_memory,
+    collect_product_intervals,
+    tile_storage_bytes,
+    traced_product_peak,
+)
+from .placement import (
+    PlacementSummary,
+    analyze_placement,
+    assign_owners,
+    owner_of_ref,
+    task_anchor,
+)
 from .registry_lint import lint_registries
 from .report import AuditReport, RaceReport, Violation
 from .tracing import AccessRecorder, TracingBackend, TracingTileMatrix
@@ -32,6 +70,7 @@ from .verifier import expected_fused_sets, verify_graph
 
 __all__ = [
     "audit",
+    "capture_plan",
     "default_audit_system",
     "verify_graph",
     "expected_fused_sets",
@@ -44,4 +83,25 @@ __all__ = [
     "AuditReport",
     "RaceReport",
     "Violation",
+    # static resource analyzer
+    "AbstractResult",
+    "AbstractTile",
+    "initial_state",
+    "interpret_graph",
+    "interpret_graphs",
+    "make_context",
+    "signature_effect",
+    "MemoryCertificate",
+    "ProductInterval",
+    "analyze_liveness",
+    "certify_peak_memory",
+    "collect_product_intervals",
+    "tile_storage_bytes",
+    "traced_product_peak",
+    "PlacementSummary",
+    "analyze_placement",
+    "assign_owners",
+    "owner_of_ref",
+    "task_anchor",
+    "run_corruption_suite",
 ]

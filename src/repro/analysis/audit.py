@@ -17,6 +17,13 @@ configured solver.  For a solver it runs, in order:
    flushes legitimately satisfy later ones and are threaded through as
    external products).
 
+Both solver passes additionally run the **static resource analyzer**
+(:mod:`repro.analysis.abstract`, :mod:`repro.analysis.liveness`,
+:mod:`repro.analysis.placement`): shape/dtype abstract interpretation,
+a certified peak-memory bound (cross-checked against the execution
+traces and optionally admission-gated via ``max_memory``), and
+owner-computes placement with priced communication volume.
+
 The result is an :class:`~repro.analysis.report.AuditReport`; the audit
 never raises on findings — races detected dynamically are converted to
 violations (and stop the dynamic pass, since the factorization state is
@@ -25,7 +32,7 @@ corrupt beyond the first undeclared access).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -34,11 +41,14 @@ from ..runtime.graph import TaskGraph
 from ..runtime.schedule import build_step_graph
 from ..tiles.distribution import BlockCyclicDistribution
 from ..tiles.tile_matrix import TileMatrix
+from .abstract import SigContext, interpret_graphs, make_context
+from .liveness import analyze_liveness
+from .placement import analyze_placement, assign_owners
 from .report import AuditReport, RaceReport, Violation
 from .tracing import TracingBackend
 from .verifier import verify_graph
 
-__all__ = ["audit", "default_audit_system"]
+__all__ = ["audit", "capture_plan", "default_audit_system"]
 
 
 def default_audit_system(solver, seed: int = 0, n: Optional[int] = None):
@@ -57,6 +67,102 @@ def default_audit_system(solver, seed: int = 0, n: Optional[int] = None):
     return a, b
 
 
+def _system_context(
+    solver, a: np.ndarray, b: Optional[np.ndarray]
+) -> Tuple[SigContext, BlockCyclicDistribution, int]:
+    """Signature context, distribution, and base storage bytes of a system.
+
+    The context carries the *input* dtype (so dtype-preservation is judged
+    against what the caller supplied); the base storage is priced at the
+    tile store's own dtype (:class:`TileMatrix` holds float64).
+    """
+    from ..core.solver_base import pad_to_tile_multiple
+
+    a_work, b_work, _ = pad_to_tile_multiple(np.asarray(a), b, solver.tile_size)
+    n_tiles = a_work.shape[0] // solver.tile_size
+    nrhs = 0
+    if b_work is not None:
+        b_arr = np.asarray(b_work)
+        nrhs = 1 if b_arr.ndim == 1 else int(b_arr.shape[1])
+    ctx = make_context(n_tiles, solver.tile_size, nrhs, np.asarray(a).dtype)
+    dist = BlockCyclicDistribution(solver.grid, n_tiles)
+    storage_item = 8  # TileMatrix stores float64 regardless of input dtype
+    base_bytes = a_work.shape[0] * a_work.shape[0] * storage_item
+    base_bytes += a_work.shape[0] * nrhs * storage_item
+    return ctx, dist, base_bytes
+
+
+def _resource_passes(
+    report: AuditReport,
+    graphs: Sequence[TaskGraph],
+    ctx: SigContext,
+    dist: BlockCyclicDistribution,
+    *,
+    platform=None,
+    base_bytes: Optional[int] = None,
+    mode: str = "window",
+    traces=None,
+    max_memory: Optional[int] = None,
+    key: str = "plan",
+) -> None:
+    """Run the three resource analyses over ``graphs`` into ``report``."""
+    if platform is None:
+        from ..runtime.platform import dancer_platform
+
+        platform = dancer_platform(dist.grid)
+    result = interpret_graphs(list(graphs), ctx)
+    report.add("abstract", result.violations)
+    report.count("kernels", result.kernels_checked)
+    live_violations, cert = analyze_liveness(
+        graphs,
+        ctx,
+        mode=mode,
+        base_bytes=base_bytes,
+        traces=traces,
+        max_memory=max_memory,
+    )
+    report.add("liveness", live_violations)
+    report.resources[f"memory[{key}]"] = cert.as_dict()
+    assign_owners(graphs, dist, ctx)
+    place_violations, summary = analyze_placement(
+        graphs, dist, ctx, platform=platform
+    )
+    report.add("placement", place_violations)
+    report.resources[f"placement[{key}]"] = summary.as_dict()
+
+
+def capture_plan(solver, a=None, b=None, *, seed: int = 0, n: Optional[int] = None):
+    """Plan (and inline-execute) a full factorization; return its artifacts.
+
+    Returns ``(graph, ctx, dist)`` — the cumulative task graph of every
+    planned step, the signature context, and the block-cyclic distribution.
+    Used by the corruption fixtures and tests that need a real plan to
+    mutate or analyze without going through a full :func:`audit`.
+    """
+    from ..core.solver_base import pad_to_tile_multiple
+
+    if a is None:
+        a, b = default_audit_system(solver, seed=seed, n=n)
+    ctx, dist, _ = _system_context(solver, a, b)
+    with solver._factor_lock:
+        a_work, b_work, _ = pad_to_tile_multiple(np.asarray(a), b, solver.tile_size)
+        solver.kernel_backend.warm(solver.tile_size, a_work.dtype)
+        tiles = TileMatrix.from_dense(a_work, solver.tile_size, rhs=b_work)
+        solver._reset()
+        graph = TaskGraph()
+        for k in range(tiles.n):
+            try:
+                _, tasks = solver._plan_step(tiles, dist, k)
+            except SingularPanelError:
+                break
+            build_step_graph(tasks, step=k, graph=graph)
+            # Planning of step k+1 reads step k's numbers: execute inline.
+            for task in tasks:
+                if task.fn is not None:
+                    task.fn()
+    return graph, ctx, dist
+
+
 def _trace_and_verify(
     solver,
     a: np.ndarray,
@@ -64,6 +170,8 @@ def _trace_and_verify(
     *,
     dynamic: bool,
     report: AuditReport,
+    platform=None,
+    max_memory: Optional[int] = None,
 ) -> None:
     """Plan every step in-process, execute under the tracer, verify."""
     from ..core.solver_base import pad_to_tile_multiple
@@ -114,10 +222,34 @@ def _trace_and_verify(
         report.add(
             "tracer", [v for v in violations if v.kind.startswith("undeclared")]
         )
+    ctx, _dist_unused, base_bytes = _system_context(solver, a, b)
+    if dynamic and getattr(tracer, "storage_bytes", 0):
+        # Cross-check: the bound's base term must cover what the tracing
+        # backend actually saw allocated for the tile store.
+        base_bytes = max(base_bytes, int(tracer.storage_bytes))
+    _resource_passes(
+        report,
+        [graph],
+        ctx,
+        dist,
+        platform=platform,
+        base_bytes=base_bytes,
+        # One cumulative graph, executed inline step by step: the
+        # position-granular sequential bound is sound here.
+        mode="sequential",
+        max_memory=max_memory,
+        key="plan",
+    )
 
 
 def _verify_executed_graphs(
-    solver, a: np.ndarray, b: Optional[np.ndarray], report: AuditReport
+    solver,
+    a: np.ndarray,
+    b: Optional[np.ndarray],
+    report: AuditReport,
+    *,
+    platform=None,
+    max_memory: Optional[int] = None,
 ) -> None:
     """Run the real (executor-backed) factorization; verify flushed graphs."""
     violations: List[Violation] = []
@@ -138,6 +270,22 @@ def _verify_executed_graphs(
             if task.call is not None and task.call.produces is not None:
                 produced.add(task.call.produces)
     report.add("verifier", violations)
+    ctx, dist, base_bytes = _system_context(solver, a, b)
+    traces = solver.step_traces if solver.step_traces else None
+    _resource_passes(
+        report,
+        solver.step_graphs,
+        ctx,
+        dist,
+        platform=platform,
+        base_bytes=base_bytes,
+        # Flush-granular window bound: dominates any executor's true
+        # concurrent overlap because flushes run sequentially.
+        mode="window",
+        traces=traces,
+        max_memory=max_memory,
+        key="executed",
+    )
 
 
 def audit(
@@ -149,6 +297,8 @@ def audit(
     lint: bool = True,
     seed: int = 0,
     n: Optional[int] = None,
+    platform=None,
+    max_memory: Optional[int] = None,
 ) -> AuditReport:
     """Audit a task graph or a configured solver; return an AuditReport.
 
@@ -158,6 +308,12 @@ def audit(
     solver has an executor configured — verifies the task graphs of a
     real executor-backed factorization.  ``a``/``b`` default to a
     well-conditioned random system (``seed``, order ``n``).
+
+    Both solver passes also run the resource analyzer: abstract
+    shape/dtype interpretation, a certified peak-memory bound (admission
+    checked against ``max_memory`` bytes when given), and owner-computes
+    placement with communication volume priced by ``platform`` (default:
+    the Dancer calibration on the solver's grid).
     """
     report = AuditReport()
     if isinstance(plan_or_solver, TaskGraph):
@@ -176,7 +332,17 @@ def audit(
             report.count(f"registry.{key}", count)
     if a is None:
         a, b = default_audit_system(solver, seed=seed, n=n)
-    _trace_and_verify(solver, a, b, dynamic=dynamic, report=report)
+    _trace_and_verify(
+        solver,
+        a,
+        b,
+        dynamic=dynamic,
+        report=report,
+        platform=platform,
+        max_memory=max_memory,
+    )
     if solver.executor is not None:
-        _verify_executed_graphs(solver, a, b, report)
+        _verify_executed_graphs(
+            solver, a, b, report, platform=platform, max_memory=max_memory
+        )
     return report

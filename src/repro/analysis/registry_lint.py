@@ -91,9 +91,37 @@ def _constructible_without_args(obj, skip: Tuple[str, ...] = ()) -> List[str]:
 
 
 def _lint_kernels() -> Tuple[List[Violation], int]:
-    from ..kernels.dispatch import KERNELS, KernelCall
+    from ..kernels.dispatch import KERNEL_SIGNATURES, KERNELS, KernelCall
 
     violations: List[Violation] = []
+    # The abstract interpreter (repro.analysis.abstract) can only model ops
+    # that declare a shape/dtype signature; drift in either direction —
+    # a dispatchable op without a signature, or a signature for an op that
+    # no longer dispatches — is a lint failure.
+    for name in sorted(set(KERNELS) - set(KERNEL_SIGNATURES)):
+        violations.append(
+            Violation(
+                kind="missing-kernel-signature",
+                message=(
+                    f"kernel op {name!r} is registered in KERNELS but has no "
+                    "shape/dtype signature in KERNEL_SIGNATURES — the static "
+                    "resource analyzer cannot model its tasks"
+                ),
+                subject=name,
+            )
+        )
+    for name in sorted(set(KERNEL_SIGNATURES) - set(KERNELS)):
+        violations.append(
+            Violation(
+                kind="orphan-kernel-signature",
+                message=(
+                    f"KERNEL_SIGNATURES declares {name!r} but no such op is "
+                    "registered in KERNELS — stale signature, remove or "
+                    "re-register the op"
+                ),
+                subject=name,
+            )
+        )
     for name in sorted(KERNELS):
         call = KernelCall(kernel=name)
         try:

@@ -10,7 +10,7 @@ at the exact access that breaks a task's declared read/write sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["Violation", "RaceReport", "AuditReport"]
 
@@ -90,6 +90,10 @@ class AuditReport:
 
     sections: Dict[str, List[Violation]] = field(default_factory=dict)
     checked: Dict[str, int] = field(default_factory=dict)
+    #: Resource certifications (peak memory, comm volume, pivot stats)
+    #: keyed by analysis pass — quantities, not findings, so they live
+    #: outside ``sections``.
+    resources: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def violations(self) -> List[Violation]:
@@ -116,8 +120,39 @@ class AuditReport:
             lines.append(f"{section}: {status}")
             for v in findings:
                 lines.append(f"  - {v}")
+        for key, value in sorted(self.resources.items()):
+            if isinstance(value, dict):
+                inner = ", ".join(
+                    f"{k}={v}" for k, v in value.items() if not isinstance(v, dict)
+                )
+                lines.append(f"{key}: {inner}")
+            else:
+                lines.append(f"{key}: {value}")
         coverage = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
         if coverage:
             lines.append(f"checked: {coverage}")
         lines.append("AUDIT PASSED" if self.ok else "AUDIT FAILED")
         return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the whole report (``repro-analyze --json``)."""
+
+        def violation_dict(v: Violation) -> Dict[str, Any]:
+            out: Dict[str, Any] = {"kind": v.kind, "message": v.message}
+            if v.tasks:
+                out["tasks"] = list(v.tasks)
+            if v.tile is not None:
+                out["tile"] = list(v.tile)
+            if v.subject is not None:
+                out["subject"] = v.subject
+            return out
+
+        return {
+            "ok": self.ok,
+            "sections": {
+                name: [violation_dict(v) for v in findings]
+                for name, findings in self.sections.items()
+            },
+            "checked": dict(self.checked),
+            "resources": self.resources,
+        }

@@ -67,6 +67,31 @@ def _parser() -> argparse.ArgumentParser:
         "--lookahead", type=int, default=1, help="pipeline lookahead depth"
     )
     parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="PxQ",
+        help="process grid for the placement analysis, e.g. 2x2 (default 1x1)",
+    )
+    parser.add_argument(
+        "--max-memory",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "admission limit: fail the audit when the certified peak-memory "
+            "bound exceeds this many bytes"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the machine-readable audit report to PATH as JSON "
+            "('-' for stdout); one object keyed by algorithm"
+        ),
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="seed for the audited system"
     )
     parser.add_argument(
@@ -102,6 +127,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     algorithms: List[str] = list(args.algorithms or DEFAULT_ALGORITHMS)
     failures = 0
+    reports = {}
     for index, algorithm in enumerate(algorithms):
 
         def build(executor=None, algorithm=algorithm):
@@ -111,6 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 executor=executor,
                 kernel_backend=args.kernel_backend,
                 lookahead=args.lookahead,
+                grid=args.grid,
             )
 
         solver = build(args.executor)
@@ -121,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lint=not args.skip_lint and index == 0,
             seed=args.seed,
             n=args.n,
+            max_memory=args.max_memory,
         )
         if args.determinism:
             a, b = analysis.default_audit_system(solver, seed=args.seed, n=args.n)
@@ -130,10 +158,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     build, a, b, rounds=args.determinism_rounds, seed=args.seed
                 ),
             )
+        reports[algorithm] = report.as_dict()
         print(f"== {algorithm} ==")
         print(report.summary())
         if not report.ok:
             failures += 1
+    if args.json is not None:
+        import json
+        import sys
+
+        payload = json.dumps(reports, indent=2, default=str)
+        if args.json == "-":
+            sys.stdout.write(payload + "\n")
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
     if failures:
         print(f"{failures}/{len(algorithms)} algorithm audit(s) FAILED")
         return 1

@@ -86,7 +86,20 @@ def figure2_rows(
         lupp_results = [lupp.solve(a, b) for a, b in zip(matrices, rhss)]
         lupp_hpl3 = [r.hpl3 for r in lupp_results]
 
-        def run_and_summarize(solver, label: str, criterion: str, alpha: float) -> Dict[str, object]:
+        def run_and_summarize(
+            solver,
+            label: str,
+            criterion: str,
+            alpha: float,
+            # Bind the per-size state so the closure does not capture loop
+            # variables late (flake8-bugbear B023).
+            n_tiles=n_tiles,
+            n=n,
+            cfg=cfg,
+            matrices=matrices,
+            rhss=rhss,
+            lupp_hpl3=lupp_hpl3,
+        ) -> Dict[str, object]:
             rel, lu_pct, reports = [], [], []
             last_fact = None
             for (a, b), ref in zip(zip(matrices, rhss), lupp_hpl3):

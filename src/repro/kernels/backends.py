@@ -47,7 +47,7 @@ from typing import Any, Dict, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..api.registry import KERNEL_BACKENDS, register_kernel_backend
-from .dispatch import _ssssm_pair, kernel_op
+from .dispatch import _RHS, OpEffect, _ssssm_pair, kernel_op, kernel_signature
 from .qr_kernels import tsmqr, unmqr
 
 __all__ = [
@@ -393,3 +393,106 @@ def _fused_incpiv_ssssm_chain(tiles, inputs, backend, k, j, rows) -> None:
 @kernel_op("fused.incpiv_ssssm_rhs_chain")
 def _fused_incpiv_ssssm_rhs_chain(tiles, inputs, backend, k, rows) -> None:
     resolve_backend(backend).incpiv_ssssm_rhs_chain(tiles, k, rows, inputs)
+
+
+# --------------------------------------------------------------------------- #
+# Shape/dtype signatures of the fused descriptors
+# --------------------------------------------------------------------------- #
+# The fused effects are the unions of their constituent per-tile effects
+# (the analyzer cross-checks the union against the verifier's
+# expected_fused_sets), and each logical kernel is kept as a placement
+# constituent so a sweep whose tiles span owners is priced per unit rather
+# than treated as one opaque blob.
+def _lu_sweep_effect(k, j, i0, i1):
+    panel = tuple((i, k) for i in range(i0, i1))
+    col = tuple((i, j) for i in range(i0, i1))
+    return OpEffect(
+        reads=frozenset(panel) | frozenset({(k, j)}) | frozenset(col),
+        writes=frozenset(col),
+        checks=(("matmul", ("stack", panel), (k, j), ("stack", col)),),
+        constituents=tuple(
+            (((i, k), (k, j), (i, j)), (i, j)) for i in range(i0, i1)
+        ),
+        unit_count=max(i1 - i0, 1),
+    )
+
+
+@kernel_signature("fused.lu_gemm_sweep")
+def _sig_fused_lu_gemm_sweep(call, step, ctx):
+    _backend, k, j, i0, i1 = call.args
+    return _lu_sweep_effect(k, j, i0, i1)
+
+
+@kernel_signature("fused.lu_gemm_rhs_sweep")
+def _sig_fused_lu_gemm_rhs_sweep(call, step, ctx):
+    _backend, k, i0, i1 = call.args
+    return _lu_sweep_effect(k, _RHS, i0, i1)
+
+
+def _qr_chain_effect(j, ops, step, ctx):
+    reads, writes = set(), set()
+    checks, constituents = [], []
+    for op in ops:
+        if op[0] == "unmqr":
+            _, row, _fkey = op
+            unit_reads = ((row, step), (row, j))
+            anchor = (row, j)
+            checks.append(("matmul", ("lit", ctx.nb, ctx.nb), (row, j), (row, j)))
+        else:
+            _, elim, killed, _fkey = op
+            pair = ((elim, j), (killed, j))
+            unit_reads = ((killed, step),) + pair
+            anchor = (killed, j)
+            checks.append(
+                ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair))
+            )
+            writes.add((elim, j))
+        reads.update(unit_reads)
+        writes.add(anchor)
+        constituents.append((unit_reads, anchor))
+    reads.update(writes)
+    return OpEffect(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        checks=tuple(checks),
+        constituents=tuple(constituents),
+        unit_count=max(len(ops), 1),
+    )
+
+
+@kernel_signature("fused.qr_column_chain")
+def _sig_fused_qr_column_chain(call, step, ctx):
+    _backend, j, ops = call.args
+    return _qr_chain_effect(j, ops, step, ctx)
+
+
+@kernel_signature("fused.qr_rhs_chain")
+def _sig_fused_qr_rhs_chain(call, step, ctx):
+    _backend, ops = call.args
+    return _qr_chain_effect(_RHS, ops, step, ctx)
+
+
+def _incpiv_chain_effect(k, j, rows, ctx):
+    checks = tuple(
+        ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", ((k, j), (i, j))), ("stack", ((k, j), (i, j))))
+        for i in rows
+    )
+    return OpEffect(
+        reads=frozenset((i, k) for i in rows) | frozenset({(k, j)}) | frozenset((i, j) for i in rows),
+        writes=frozenset({(k, j)}) | frozenset((i, j) for i in rows),
+        checks=checks,
+        constituents=tuple((((i, k), (k, j), (i, j)), (i, j)) for i in rows),
+        unit_count=max(len(rows), 1),
+    )
+
+
+@kernel_signature("fused.incpiv_ssssm_chain")
+def _sig_fused_incpiv_ssssm_chain(call, step, ctx):
+    _backend, k, j, rows = call.args
+    return _incpiv_chain_effect(k, j, rows, ctx)
+
+
+@kernel_signature("fused.incpiv_ssssm_rhs_chain")
+def _sig_fused_incpiv_ssssm_rhs_chain(call, step, ctx):
+    _backend, k, rows = call.args
+    return _incpiv_chain_effect(k, _RHS, rows, ctx)

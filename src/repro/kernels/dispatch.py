@@ -45,7 +45,17 @@ from ..tiles.tile_matrix import TileMatrix
 from .lu_kernels import apply_swptrsm, eliminate_trsm, factor_panel_lu, factor_tile_lu
 from .qr_kernels import geqrt_tile, tsmqr, tsqrt, ttqrt, unmqr
 
-__all__ = ["KernelCall", "KERNELS", "kernel_op", "execute_kernel_call"]
+__all__ = [
+    "KernelCall",
+    "KERNELS",
+    "kernel_op",
+    "execute_kernel_call",
+    "SigContext",
+    "OpEffect",
+    "KernelSignature",
+    "KERNEL_SIGNATURES",
+    "kernel_signature",
+]
 
 
 @dataclass(frozen=True)
@@ -238,6 +248,354 @@ def _incpiv_ssssm_rhs(tiles: TileMatrix, inputs, k, i) -> None:
     top, bottom = _ssssm_pair(pair, tiles.nb, tiles.rhs_tile(k), tiles.rhs_tile(i))
     tiles.rhs_tile(k)[...] = top
     tiles.rhs_tile(i)[...] = bottom
+
+
+# --------------------------------------------------------------------------- #
+# Shape/dtype signatures — abstract transfer rules for the static analyzer
+# --------------------------------------------------------------------------- #
+# The analyzer (repro.analysis.abstract) symbolically executes plans over an
+# abstract domain of (tile shape, dtype) values.  Each kernel operation in
+# KERNELS declares a *signature*: a function mapping a KernelCall to the tile
+# sets it reads and writes, the conformability checks its numerics imply, an
+# owner anchor for placement (owner-computes on the written tile), and the
+# byte size of any produced factor.  Registry lint fails when KERNELS and
+# KERNEL_SIGNATURES drift apart in either direction.
+#
+# The RHS pseudo-column constant mirrors repro.runtime.task.RHS_COLUMN; it is
+# not imported because repro.runtime.__init__ imports the process executor,
+# which imports this module.
+_RHS = -1
+
+
+@dataclass(frozen=True)
+class SigContext:
+    """Problem-level context a signature is evaluated under.
+
+    ``dtype`` is the dtype of the *input* matrix (pre tile-storage cast), so
+    abstract interpretation covers dtypes the concrete TileMatrix would
+    normalise away.
+    """
+
+    n: int
+    nb: int
+    nrhs: int
+    dtype: Any
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+
+@dataclass(frozen=True)
+class OpEffect:
+    """Abstract effect of one kernel application.
+
+    ``checks`` is a tuple of conformability assertions over shape operands.
+    An operand is a tile reference ``(i, j)`` (column ``-1`` = RHS), a
+    literal ``("lit", rows, cols)``, or a vertical stack
+    ``("stack", (ref, ...))`` whose row counts add and whose column counts
+    must agree.  Check forms:
+
+    - ``("matmul", a, b, out)`` — ``a @ b`` conforms and matches ``out``
+    - ``("same_shape", a, b)``
+    - ``("concrete", label, actual_shape, expected_shape)`` — a concrete
+      array carried inside the call (panel factors) has the shape the plan
+      geometry implies
+
+    ``owner_tile`` anchors the task's owner under a distribution
+    (owner-computes on the written tile).  ``constituents`` decomposes a
+    fused operation into ``((read_refs, ...), anchor_ref)`` units so
+    placement can price intra-sweep communication per logical kernel.
+    ``product_bytes`` sizes the value published under ``call.produces``.
+    ``unit_count`` is the number of logical kernels (cross-checked against
+    ``Task.fused``).
+    """
+
+    reads: Any
+    writes: Any
+    checks: Tuple[Any, ...] = ()
+    owner_tile: Optional[Tuple[int, int]] = None
+    constituents: Tuple[Any, ...] = ()
+    product_bytes: int = 0
+    unit_count: int = 1
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """Transfer rule for one kernel op.
+
+    ``effect(call, step, ctx) -> OpEffect`` derives the abstract effect;
+    ``dtype_rule`` is ``"preserve"`` (writes take the promoted dtype of the
+    reads) or a concrete numpy dtype name the operation forces its outputs
+    to.
+    """
+
+    effect: Callable[[KernelCall, int, SigContext], OpEffect]
+    dtype_rule: str = "preserve"
+
+
+#: Name -> signature table, lint-checked against :data:`KERNELS` both ways.
+KERNEL_SIGNATURES: Dict[str, KernelSignature] = {}
+
+
+def kernel_signature(
+    name: str, dtype_rule: str = "preserve"
+) -> Callable[[Callable[..., OpEffect]], Callable[..., OpEffect]]:
+    """Register the shape/dtype signature for kernel op ``name``."""
+
+    def decorator(fn: Callable[..., OpEffect]) -> Callable[..., OpEffect]:
+        if name in KERNEL_SIGNATURES:
+            raise ValueError(f"kernel signature {name!r} is already registered")
+        KERNEL_SIGNATURES[name] = KernelSignature(effect=fn, dtype_rule=dtype_rule)
+        return fn
+
+    return decorator
+
+
+def _factor_lu_shape(factor: Any) -> Tuple[int, ...]:
+    return tuple(getattr(getattr(factor, "lu", None), "shape", ()))
+
+
+@kernel_signature("lu.scatter_factor")
+def _sig_lu_scatter_factor(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    k, rows, factor = call.args
+    refs = frozenset((i, k) for i in rows)
+    return OpEffect(
+        reads=refs,
+        writes=refs,
+        checks=(
+            (
+                "concrete",
+                "scatter_factor.lu",
+                _factor_lu_shape(factor),
+                (len(rows) * ctx.nb, ctx.nb),
+            ),
+        ),
+        owner_tile=(k, k),
+    )
+
+
+@kernel_signature("lu.swptrsm")
+def _sig_lu_swptrsm(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    j, rows, factor = call.args
+    panel = frozenset((i, step) for i in rows)
+    col = tuple((i, j) for i in rows)
+    d = len(rows) * ctx.nb
+    return OpEffect(
+        reads=panel | frozenset(col),
+        writes=frozenset(col),
+        checks=(
+            ("concrete", "swptrsm.lu", _factor_lu_shape(factor), (d, ctx.nb)),
+            ("matmul", ("lit", d, d), ("stack", col), ("stack", col)),
+        ),
+        owner_tile=(rows[0], j),
+    )
+
+
+@kernel_signature("lu.swptrsm_rhs")
+def _sig_lu_swptrsm_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    rows, factor = call.args
+    panel = frozenset((i, step) for i in rows)
+    col = tuple((i, _RHS) for i in rows)
+    d = len(rows) * ctx.nb
+    return OpEffect(
+        reads=panel | frozenset(col),
+        writes=frozenset(col),
+        checks=(
+            ("concrete", "swptrsm.lu", _factor_lu_shape(factor), (d, ctx.nb)),
+            ("matmul", ("lit", d, d), ("stack", col), ("stack", col)),
+        ),
+        owner_tile=(rows[0], _RHS),
+    )
+
+
+@kernel_signature("lu.trsm")
+def _sig_lu_trsm(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    i, k, _factor = call.args
+    return OpEffect(
+        reads=frozenset({(k, k), (i, k)}),
+        writes=frozenset({(i, k)}),
+        checks=(("matmul", (i, k), ("lit", ctx.nb, ctx.nb), (i, k)),),
+        owner_tile=(i, k),
+    )
+
+
+@kernel_signature("lu.gemm")
+def _sig_lu_gemm(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    i, j, k = call.args
+    return OpEffect(
+        reads=frozenset({(i, k), (k, j), (i, j)}),
+        writes=frozenset({(i, j)}),
+        checks=(("matmul", (i, k), (k, j), (i, j)),),
+        owner_tile=(i, j),
+    )
+
+
+@kernel_signature("lu.gemm_rhs")
+def _sig_lu_gemm_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    i, k = call.args
+    return OpEffect(
+        reads=frozenset({(i, k), (k, _RHS), (i, _RHS)}),
+        writes=frozenset({(i, _RHS)}),
+        checks=(("matmul", (i, k), (k, _RHS), (i, _RHS)),),
+        owner_tile=(i, _RHS),
+    )
+
+
+@kernel_signature("qr.geqrt")
+def _sig_qr_geqrt(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    row, k = call.args
+    return OpEffect(
+        reads=frozenset({(row, k)}),
+        writes=frozenset({(row, k)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (row, k), (row, k)),),
+        owner_tile=(row, k),
+        product_bytes=3 * ctx.nb * ctx.nb * ctx.itemsize,
+    )
+
+
+@kernel_signature("qr.unmqr")
+def _sig_qr_unmqr(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    row, j = call.args
+    return OpEffect(
+        reads=frozenset({(row, step), (row, j)}),
+        writes=frozenset({(row, j)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (row, j), (row, j)),),
+        owner_tile=(row, j),
+    )
+
+
+@kernel_signature("qr.unmqr_rhs")
+def _sig_qr_unmqr_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    (row,) = call.args
+    return OpEffect(
+        reads=frozenset({(row, step), (row, _RHS)}),
+        writes=frozenset({(row, _RHS)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (row, _RHS), (row, _RHS)),),
+        owner_tile=(row, _RHS),
+    )
+
+
+@kernel_signature("qr.couple")
+def _sig_qr_couple(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    _kind, eliminator, killed, k = call.args
+    pair = ((eliminator, k), (killed, k))
+    return OpEffect(
+        reads=frozenset(pair),
+        writes=frozenset(pair),
+        checks=(
+            ("same_shape", (eliminator, k), (killed, k)),
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(killed, k),
+        product_bytes=4 * ctx.nb * ctx.nb * ctx.itemsize,
+    )
+
+
+@kernel_signature("qr.update")
+def _sig_qr_update(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    eliminator, killed, j = call.args
+    pair = ((eliminator, j), (killed, j))
+    return OpEffect(
+        reads=frozenset(pair) | frozenset({(killed, step)}),
+        writes=frozenset(pair),
+        checks=(
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(killed, j),
+    )
+
+
+@kernel_signature("qr.update_rhs")
+def _sig_qr_update_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    eliminator, killed = call.args
+    pair = ((eliminator, _RHS), (killed, _RHS))
+    return OpEffect(
+        reads=frozenset(pair) | frozenset({(killed, step)}),
+        writes=frozenset(pair),
+        checks=(
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(killed, _RHS),
+    )
+
+
+@kernel_signature("incpiv.getrf")
+def _sig_incpiv_getrf(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    (k,) = call.args
+    return OpEffect(
+        reads=frozenset({(k, k)}),
+        writes=frozenset({(k, k)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (k, k), (k, k)),),
+        owner_tile=(k, k),
+        product_bytes=ctx.nb * ctx.nb * ctx.itemsize + ctx.nb * 8,
+    )
+
+
+@kernel_signature("incpiv.swptrsm")
+def _sig_incpiv_swptrsm(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    k, j = call.args
+    return OpEffect(
+        reads=frozenset({(k, k), (k, j)}),
+        writes=frozenset({(k, j)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (k, j), (k, j)),),
+        owner_tile=(k, j),
+    )
+
+
+@kernel_signature("incpiv.swptrsm_rhs")
+def _sig_incpiv_swptrsm_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    (k,) = call.args
+    return OpEffect(
+        reads=frozenset({(k, k), (k, _RHS)}),
+        writes=frozenset({(k, _RHS)}),
+        checks=(("matmul", ("lit", ctx.nb, ctx.nb), (k, _RHS), (k, _RHS)),),
+        owner_tile=(k, _RHS),
+    )
+
+
+@kernel_signature("incpiv.tstrf")
+def _sig_incpiv_tstrf(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    k, i = call.args
+    pair = ((k, k), (i, k))
+    return OpEffect(
+        reads=frozenset(pair),
+        writes=frozenset(pair),
+        checks=(
+            ("same_shape", (k, k), (i, k)),
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(i, k),
+        product_bytes=2 * ctx.nb * ctx.nb * ctx.itemsize + ctx.nb * 8,
+    )
+
+
+@kernel_signature("incpiv.ssssm")
+def _sig_incpiv_ssssm(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    k, i, j = call.args
+    pair = ((k, j), (i, j))
+    return OpEffect(
+        reads=frozenset({(i, k), (k, j), (i, j)}),
+        writes=frozenset(pair),
+        checks=(
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(i, j),
+    )
+
+
+@kernel_signature("incpiv.ssssm_rhs")
+def _sig_incpiv_ssssm_rhs(call: KernelCall, step: int, ctx: SigContext) -> OpEffect:
+    k, i = call.args
+    pair = ((k, _RHS), (i, _RHS))
+    return OpEffect(
+        reads=frozenset({(i, k), (k, _RHS), (i, _RHS)}),
+        writes=frozenset(pair),
+        checks=(
+            ("matmul", ("lit", 2 * ctx.nb, 2 * ctx.nb), ("stack", pair), ("stack", pair)),
+        ),
+        owner_tile=(i, _RHS),
+    )
 
 
 # --------------------------------------------------------------------------- #

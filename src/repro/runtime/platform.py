@@ -140,9 +140,9 @@ class Platform:
             return self.latency
         return self.latency + nbytes / self.bandwidth
 
-    def tile_bytes(self, nb: int) -> float:
-        """Size in bytes of one double-precision ``nb x nb`` tile."""
-        return 8.0 * nb * nb
+    def tile_bytes(self, nb: int, itemsize: float = 8.0) -> float:
+        """Size in bytes of one ``nb x nb`` tile (double precision default)."""
+        return float(itemsize) * nb * nb
 
     def allreduce_time(self, participants: int, nbytes: float) -> float:
         """Cost of the criterion all-reduce among ``participants`` nodes."""

@@ -265,6 +265,11 @@ class StepPipeline:
         self.collect_graphs = bool(collect_graphs)
         self.traces: List[ExecutionTrace] = []
         self.graphs: List[TaskGraph] = []
+        #: ``(min_step, max_step)`` per flush — how many elimination steps
+        #: were in flight together.  The liveness pass uses flush windows as
+        #: its memory-certification granularity, so the spans double as a
+        #: direct measure of how much lookahead actually materialised.
+        self.window_spans: List[Tuple[int, int]] = []
         #: ``step -> {tile: 1-norm after that step}`` samples for growth
         #: replay; only populated when ``submit`` is given the tiles.
         self.norm_samples: Dict[int, Dict[TileRef, float]] = {}
@@ -400,6 +405,8 @@ class StepPipeline:
                     fused=task.fused,
                 )
         assign_task_priorities(graph, self.tile_size, self.calibration)
+        steps = [step for idx, (step, _) in enumerate(self._pending) if selected[idx]]
+        self.window_spans.append((min(steps), max(steps)))
         if self.collect_graphs:
             self.graphs.append(graph)
         try:

@@ -92,6 +92,16 @@ class BlockCyclicDistribution:
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ValueError(f"tile count must be positive, got {self.n}")
+        if self.grid.p > self.n or self.grid.q > self.n:
+            # A grid dimension exceeding the tile count leaves processes
+            # that own nothing: every panel/domain query for them silently
+            # returns an empty (degenerate) domain, which downstream
+            # placement analysis would misread as "no work, no messages".
+            raise ValueError(
+                f"process grid {self.grid.p}x{self.grid.q} is larger than the "
+                f"{self.n}x{self.n} tile matrix; every process must own at "
+                "least one tile row and column"
+            )
 
     # ------------------------------------------------------------------ #
     # Ownership queries
@@ -108,7 +118,20 @@ class BlockCyclicDistribution:
 
     def is_local(self, i: int, j: int, rank: int) -> bool:
         """Whether tile ``(i, j)`` lives on process ``rank``."""
+        self.grid.coords_of(rank)  # reject out-of-range ranks loudly
         return self.owner(i, j) == rank
+
+    def rhs_owner(self, i: int) -> int:
+        """Rank owning the right-hand-side tile of tile row ``i``.
+
+        The RHS is distributed as one extra block column appended after the
+        matrix (column index ``n``), so RHS tiles cycle over process rows
+        exactly like their matrix row while all landing in the process
+        column ``n mod q``.
+        """
+        if not (0 <= i < self.n):
+            raise IndexError(f"RHS tile row {i} outside 0..{self.n - 1}")
+        return self.grid.rank_of(i % self.grid.p, self.n % self.grid.q)
 
     def local_tiles(self, rank: int) -> List[Tuple[int, int]]:
         """All tiles owned by process ``rank`` (row-major order)."""
@@ -144,6 +167,7 @@ class BlockCyclicDistribution:
 
     def domain_rows(self, k: int, rank: int) -> List[int]:
         """Panel rows of step ``k`` owned by ``rank`` (a *domain*)."""
+        self.grid.coords_of(rank)  # reject out-of-range ranks loudly
         return [i for i in self.panel_rows(k) if self.owner(i, k) == rank]
 
     def diagonal_domain_rows(self, k: int) -> List[int]:

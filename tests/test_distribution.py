@@ -142,6 +142,12 @@ class TestBlockCyclicDistribution:
     def test_property_domain_rows_owned_by_diag_owner(self, p, q, n, k):
         if k >= n:
             return
+        if p > n or q > n:
+            # A grid larger than the tile matrix leaves ownerless
+            # processes; construction rejects it (see __post_init__).
+            with pytest.raises(ValueError):
+                BlockCyclicDistribution(ProcessGrid(p, q), n)
+            return
         dist = BlockCyclicDistribution(ProcessGrid(p, q), n)
         owner = dist.diagonal_owner(k)
         rows = dist.diagonal_domain_rows(k)
