@@ -1,0 +1,146 @@
+"""Benchmark: distributed cluster execution and sharded serving.
+
+Two comparisons, both recorded into ``BENCH_cluster.json``:
+
+- **sharded vs single serving**: a burst of requests against several
+  distinct matrices served by a 2-shard :class:`ShardedSolverService`
+  (two independent dispatchers, factoring concurrently) versus one
+  :class:`SolverService` (one dispatcher serializing the factorizations);
+- **cluster vs processes makespan**: the same factorization on
+  ``cluster(workers=2)`` (message-passing tile ownership) and
+  ``processes(workers=2)`` (shared memory), with the cluster's measured
+  communication counters alongside — the price of distribution made
+  visible, run to run.
+"""
+
+import time
+
+import numpy as np
+
+import repro
+
+SPEC = dict(algorithm="lupp", tile_size=8)
+N_MATRICES = 4
+REQUESTS_PER_MATRIX = 4
+
+
+def _matrices(bench_config, seed=17):
+    rng = np.random.default_rng(seed)
+    n = bench_config.n_order
+    mats = [
+        rng.standard_normal((n, n)) + 4.0 * np.eye(n) for _ in range(N_MATRICES)
+    ]
+    bs = [rng.standard_normal(n) for _ in range(N_MATRICES * REQUESTS_PER_MATRIX)]
+    return n, mats, bs
+
+
+def _serve_burst(service, handles, bs):
+    t0 = time.perf_counter()
+    futures = [
+        service.submit(handles[i % len(handles)], b) for i, b in enumerate(bs)
+    ]
+    results = [f.result(timeout=300) for f in futures]
+    return time.perf_counter() - t0, results
+
+
+def test_sharded_vs_single_service_throughput(bench_record, bench_config):
+    """Burst throughput across shards, results identical either way."""
+    n, mats, bs = _matrices(bench_config)
+
+    with repro.SolverService(**SPEC) as single:
+        handles = [single.register(a) for a in mats]
+        single_s, single_results = _serve_burst(single, handles, bs)
+        single.drain(timeout=60)  # futures resolve before stats update
+        single_stats = single.stats_snapshot()
+
+    with repro.ShardedSolverService(shards=2, **SPEC) as sharded:
+        handles = [sharded.register(a) for a in mats]
+        sharded_s, sharded_results = _serve_burst(sharded, handles, bs)
+        sharded.drain(timeout=60)  # futures resolve before stats update
+        stats = sharded.stats()
+
+    for lhs, rhs in zip(sharded_results, single_results):
+        # Coalescing is timing-dependent, and BLAS rounds a k-column
+        # back-substitution differently than a j-column one — so the two
+        # services may batch (and round) differently at the last bit.
+        np.testing.assert_allclose(lhs.x, rhs.x, rtol=1e-9, atol=1e-12)
+    assert stats.total.submitted == len(bs)
+    assert stats.total.pending == 0
+    assert len(stats.per_shard) == 2
+
+    speedup = single_s / sharded_s
+    print(
+        f"\n{len(bs)} requests over {N_MATRICES} matrices of order {n}: "
+        f"single {1e3 * single_s:.1f} ms ({single_stats.batches} batches), "
+        f"sharded(2) {1e3 * sharded_s:.1f} ms "
+        f"({ {k: v.batches for k, v in stats.per_shard.items()} }) "
+        f"-> {speedup:.2f}x"
+    )
+    bench_record(
+        "cluster",
+        {
+            "benchmark": "sharded_vs_single",
+            "n": n,
+            "matrices": N_MATRICES,
+            "requests": len(bs),
+            "single_s": single_s,
+            "sharded_s": sharded_s,
+            "speedup": speedup,
+            "shards": 2,
+        },
+    )
+
+
+def test_cluster_vs_processes_makespan(bench_record, bench_config):
+    """Same plan on message-passing vs shared-memory workers."""
+    rng = np.random.default_rng(23)
+    n = bench_config.n_order
+    a = rng.standard_normal((n, n)) + 4.0 * np.eye(n)
+    b = rng.standard_normal(n)
+
+    reference = repro.make_solver(grid="2x2", **SPEC).factor(a, b)
+
+    def timed_factor(executor_spec):
+        executor = repro.make_executor(executor_spec)
+        try:
+            solver = repro.make_solver(grid="2x2", executor=executor, **SPEC)
+            best = None
+            for _ in range(max(2, bench_config.samples)):
+                t0 = time.perf_counter()
+                result = solver.factor(a, b)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+            np.testing.assert_array_equal(result.tiles.array, reference.tiles.array)
+            comm = getattr(executor, "last_comm", None)
+            return best, comm
+        finally:
+            close = getattr(executor, "close", None)
+            if callable(close):  # ProcessExecutor pools are shared, no close
+                close()
+
+    processes_s, _ = timed_factor("processes(workers=2)")
+    cluster_s, comm = timed_factor("cluster(workers=2)")
+
+    print(
+        f"\norder {n} LUPP on 2x2 grid: processes(2) {1e3 * processes_s:.1f} ms, "
+        f"cluster(2) {1e3 * cluster_s:.1f} ms; cluster shipped "
+        f"{comm.cross_messages} tile msgs ({comm.cross_bytes} B), "
+        f"{comm.product_messages} product msgs, "
+        f"{comm.forward_messages} forwards"
+    )
+    bench_record(
+        "cluster",
+        {
+            "benchmark": "cluster_vs_processes",
+            "n": n,
+            "grid": "2x2",
+            "processes_s": processes_s,
+            "cluster_s": cluster_s,
+            "cross_messages": comm.cross_messages,
+            "cross_bytes": comm.cross_bytes,
+            "product_messages": comm.product_messages,
+            "product_bytes": comm.product_bytes,
+            "forward_messages": comm.forward_messages,
+            "forward_bytes": comm.forward_bytes,
+        },
+    )

@@ -85,8 +85,18 @@ from .api import (
 # `tracing` kernel backend, so worker processes (which import the repro
 # package) can resolve it like any other backend.
 from . import analysis  # noqa: E402
+# Registers the `cluster(...)` executor spec and exposes the distributed
+# execution + sharded serving layer.
+from .cluster import (  # noqa: E402
+    ClusterError,
+    ClusterExecutor,
+    ConsistentHashRing,
+    MemoryAdmissionError,
+    ShardedSolverService,
+    ShardRemoved,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -136,4 +146,10 @@ __all__ = [
     "SequentialExecutor",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "ClusterExecutor",
+    "ClusterError",
+    "MemoryAdmissionError",
+    "ConsistentHashRing",
+    "ShardedSolverService",
+    "ShardRemoved",
 ]

@@ -39,6 +39,8 @@ from .report import Violation
 __all__ = [
     "PlacementSummary",
     "owner_of_ref",
+    "ref_bytes",
+    "constituent_units",
     "task_anchor",
     "assign_owners",
     "analyze_placement",
@@ -102,13 +104,30 @@ def owner_of_ref(
     return dist.owner(i, j)
 
 
-def _ref_bytes(ref: Tuple[int, int], ctx: SigContext) -> int:
+def ref_bytes(ref: Tuple[int, int], ctx: SigContext) -> int:
+    """Model size in bytes of one tile reference under ``ctx``.
+
+    This is the byte currency of every communication prediction (and of the
+    cluster executor's measured counters, so predicted and measured traffic
+    stay directly comparable): matrix tiles are ``nb x nb``, RHS pseudo-
+    column tiles are ``nb x nrhs``, both at the context's itemsize.
+    """
     if ref[1] == RHS_COLUMN:
         return ctx.nb * ctx.nrhs * ctx.itemsize
     return ctx.nb * ctx.nb * ctx.itemsize
 
 
-def _constituents(effect) -> Tuple[Tuple[Tuple[Any, ...], Any], ...]:
+_ref_bytes = ref_bytes
+
+
+def constituent_units(effect) -> Tuple[Tuple[Tuple[Any, ...], Any], ...]:
+    """Decompose an effect into ``((read_refs, ...), anchor_ref)`` units.
+
+    Fused sweeps decompose into their signature-declared constituents; a
+    plain per-tile kernel is a single unit anchored at its owner tile.
+    Shared between this analyzer and the cluster executor so both count
+    messages per logical kernel with identical semantics.
+    """
     if effect.constituents:
         return effect.constituents
     anchor = effect.owner_tile
@@ -117,6 +136,9 @@ def _constituents(effect) -> Tuple[Tuple[Tuple[Any, ...], Any], ...]:
     if anchor is None:
         return ()
     return ((tuple(effect.reads), anchor),)
+
+
+_constituents = constituent_units
 
 
 def task_anchor(task: Task, ctx: SigContext) -> Optional[Tuple[int, int]]:

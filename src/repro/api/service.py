@@ -179,6 +179,13 @@ class ServiceStats:
     requests that rode in one (``submitted - coalesced_requests`` went
     through alone).  The cache-level picture (hits/misses per batch) lives
     on ``service.session.stats``.
+
+    :meth:`snapshot` is *atomic*: the service installs its own dispatch
+    lock as ``lock``, so a snapshot can never interleave with a dispatcher
+    update and observe, say, ``completed`` incremented but ``batches`` not
+    yet (every mutation site holds the same lock).  Reading individual
+    counters without the lock stays possible but is only individually —
+    not mutually — consistent.
     """
 
     submitted: int = 0
@@ -189,22 +196,50 @@ class ServiceStats:
     coalesced_requests: int = 0
     max_batch_requests: int = 0
     max_batch_columns: int = 0
+    #: Lock (or Condition) guarding every mutation of the counters above.
+    #: Standalone ServiceStats get a private lock; SolverService replaces it
+    #: with the dispatch condition so updates and snapshots serialize.
+    lock: Any = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Fold another stats object into this one (sums and maxima).
+
+        First pass of the sharded-service aggregation: additive counters
+        sum, per-batch maxima take the max.  Derived metrics (``pending``)
+        recompute from the merged counters — the second pass is free.
+        """
+        self.submitted += other.submitted
+        self.completed += other.completed
+        self.failed += other.failed
+        self.batches += other.batches
+        self.coalesced_batches += other.coalesced_batches
+        self.coalesced_requests += other.coalesced_requests
+        self.max_batch_requests = max(
+            self.max_batch_requests, other.max_batch_requests
+        )
+        self.max_batch_columns = max(
+            self.max_batch_columns, other.max_batch_columns
+        )
 
     @property
     def pending(self) -> int:
         return self.submitted - self.completed - self.failed
 
     def snapshot(self) -> "ServiceStats":
-        return ServiceStats(
-            submitted=self.submitted,
-            completed=self.completed,
-            failed=self.failed,
-            batches=self.batches,
-            coalesced_batches=self.coalesced_batches,
-            coalesced_requests=self.coalesced_requests,
-            max_batch_requests=self.max_batch_requests,
-            max_batch_columns=self.max_batch_columns,
-        )
+        """A mutually consistent copy, taken under the stats lock."""
+        with self.lock:
+            return ServiceStats(
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                batches=self.batches,
+                coalesced_batches=self.coalesced_batches,
+                coalesced_requests=self.coalesced_requests,
+                max_batch_requests=self.max_batch_requests,
+                max_batch_columns=self.max_batch_columns,
+            )
 
 
 @dataclass
@@ -277,8 +312,10 @@ class SolverService:
             self._owns_solver = not (
                 hasattr(solver, "factor") and hasattr(solver, "solve")
             )
-        self.stats = ServiceStats()
         self._cv = threading.Condition()
+        # Every stats mutation happens under _cv, so installing it as the
+        # stats lock makes ServiceStats.snapshot() atomic w.r.t. dispatch.
+        self.stats = ServiceStats(lock=self._cv)
         self._pending: List[_Request] = []
         self._seq = itertools.count()
         self._unfinished = 0
@@ -462,14 +499,29 @@ class SolverService:
         :meth:`SolverSession.clear`); in-flight requests still resolve."""
         self.session.clear()
 
-    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+    def stats_snapshot(self) -> ServiceStats:
+        """Atomic copy of the dispatch counters (see
+        :meth:`ServiceStats.snapshot`): taken under the dispatch lock, so
+        no counter update can interleave with the copy."""
+        return self.stats.snapshot()
+
+    def shutdown(
+        self,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+        *,
+        error: Optional[BaseException] = None,
+    ) -> None:
         """Stop the service (idempotent).
 
         ``wait=True`` (default) serves everything already queued before the
         dispatcher exits; ``wait=False`` fails the queued futures with
-        :class:`ServiceClosed` instead.  Either way no new submissions are
-        accepted afterwards, and an executor the service built (including
-        one supplied via ``REPRO_EXECUTOR``) is closed if it exposes
+        :class:`ServiceClosed` instead — or with ``error`` when the caller
+        supplies a more specific exception (the sharded front-end passes a
+        structured ``ShardRemoved`` so clients can tell a removed shard
+        from a plain close).  Either way no new submissions are accepted
+        afterwards, and an executor the service built (including one
+        supplied via ``REPRO_EXECUTOR``) is closed if it exposes
         ``close()`` or ``shutdown()``.
         """
         with self._cv:
@@ -489,8 +541,11 @@ class SolverService:
                 self._started = True
             started = self._started
             self._cv.notify_all()
+        drop_error: BaseException = (
+            error if error is not None else ServiceClosed("SolverService shut down")
+        )
         for r in dropped:
-            r.future._resolve(exception=ServiceClosed("SolverService shut down"))
+            r.future._resolve(exception=drop_error)
         if started:
             self._thread.join(timeout)
             if self._thread.is_alive():

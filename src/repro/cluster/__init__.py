@@ -1,0 +1,43 @@
+"""Distributed execution and sharded serving.
+
+Two layers scale the reproduction past one box:
+
+- :mod:`repro.cluster.executor` — :class:`ClusterExecutor`, an
+  owner-computes multi-node executor (``cluster(workers=N)`` locally,
+  ``cluster(hosts=[...])`` against ``repro-cluster-worker`` TCP
+  endpoints) whose placement, message counting, pivot protocol, and
+  admission control come straight from the static analyses of
+  :mod:`repro.analysis`;
+- :mod:`repro.cluster.sharded` — :class:`ShardedSolverService`, a
+  consistent-hash front-end routing registered matrices across
+  independent :class:`~repro.api.service.SolverService` shards with
+  minimal-movement rebalancing and merged statistics.
+
+Importing this package registers the ``cluster`` executor spec.
+"""
+
+from .executor import (
+    ClusterError,
+    ClusterExecutor,
+    CommStats,
+    MemoryAdmissionError,
+    PivotProtocolError,
+)
+from .sharded import (
+    ConsistentHashRing,
+    ShardedSolverService,
+    ShardedStats,
+    ShardRemoved,
+)
+
+__all__ = [
+    "ClusterError",
+    "ClusterExecutor",
+    "CommStats",
+    "MemoryAdmissionError",
+    "PivotProtocolError",
+    "ConsistentHashRing",
+    "ShardedSolverService",
+    "ShardedStats",
+    "ShardRemoved",
+]

@@ -1,0 +1,358 @@
+"""Consistent-hash sharded serving across independent solver services.
+
+:class:`ShardedSolverService` scales the serving layer past one
+dispatcher: registered :class:`~repro.api.service.MatrixHandle`\\ s are
+placed on independent :class:`~repro.api.service.SolverService` shards
+(each with its own factorization cache, dispatcher thread, and —
+optionally — its own cluster-backed executor) by consistent hashing on
+the handle fingerprint, so
+
+* ``submit()`` routes by handle with no shared lock between shards,
+* adding or removing a shard moves only ``~K/N`` of the registered keys
+  (the :class:`ConsistentHashRing` guarantee) instead of re-homing
+  everything, and the moved keys simply warm the next shard's cache on
+  first touch — results never change, only locality does;
+* removing a shard mid-flight fails *only that shard's* queued futures,
+  with a structured :class:`ShardRemoved` clients can distinguish from a
+  plain close.
+
+Statistics aggregate in the first-pass/merge/second-pass shape of the
+resolver pipelines this design borrows from: per-shard atomic
+:meth:`~repro.api.service.ServiceStats.snapshot`\\ s (first pass) fold
+into one total via :meth:`~repro.api.service.ServiceStats.merge`
+(sums and maxima), and derived metrics recompute from the merged
+counters (second pass, free).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..api.service import (
+    MatrixHandle,
+    ServiceClosed,
+    ServiceStats,
+    SolveFuture,
+    SolverService,
+)
+from ..api.session import SolverSession, matrix_fingerprint
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardRemoved",
+    "ShardedStats",
+    "ShardedSolverService",
+]
+
+
+class ShardRemoved(ServiceClosed):
+    """Set on the futures a shard removal dropped mid-flight.
+
+    Carries the shard name, so a routing client can distinguish "this
+    shard went away, resubmit and you will be re-routed" from a plain
+    service shutdown.
+    """
+
+    def __init__(self, shard: str) -> None:
+        super().__init__(f"shard {shard!r} was removed from the sharded service")
+        self.shard = shard
+
+
+class ConsistentHashRing:
+    """SHA-256 consistent-hash ring with virtual nodes.
+
+    Each member is hashed at ``replicas`` virtual positions; a key routes
+    to the first member clockwise from its own hash.  Adding or removing
+    a member only re-routes the keys whose arc it owned — the minimal-
+    movement property the sharded service's rebalancing relies on.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._ring: List[Tuple[int, str]] = []  # sorted (position, member)
+        self._members: Dict[str, List[int]] = {}
+
+    @staticmethod
+    def _position(token: str) -> int:
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise ValueError(f"ring already contains {member!r}")
+        positions = [
+            self._position(f"{member}#{replica}") for replica in range(self.replicas)
+        ]
+        self._members[member] = positions
+        for pos in positions:
+            bisect.insort(self._ring, (pos, member))
+
+    def remove(self, member: str) -> None:
+        try:
+            positions = self._members.pop(member)
+        except KeyError:
+            raise KeyError(f"ring does not contain {member!r}") from None
+        remove_set = {(pos, member) for pos in positions}
+        self._ring = [entry for entry in self._ring if entry not in remove_set]
+
+    def node_for(self, key: str) -> str:
+        """The member owning ``key``'s arc (clockwise successor)."""
+        if not self._ring:
+            raise LookupError("consistent-hash ring is empty")
+        pos = self._position(key)
+        index = bisect.bisect_left(self._ring, (pos, ""))
+        if index == len(self._ring):
+            index = 0  # wrap around the top of the ring
+        return self._ring[index][1]
+
+
+@dataclass
+class ShardedStats:
+    """Aggregated dispatch statistics of a sharded service."""
+
+    total: ServiceStats
+    per_shard: Dict[str, ServiceStats]
+
+    @property
+    def shards(self) -> int:
+        return len(self.per_shard)
+
+
+class ShardedSolverService:
+    """Route solve requests across consistent-hash ``SolverService`` shards.
+
+    Parameters
+    ----------
+    shards:
+        Either a shard count (that many ``SolverService`` shards are
+        built from ``**spec_kwargs``, named ``shard-0..N-1``) or a
+        mapping ``{name: SolverService}`` of pre-built shards — e.g.
+        each backed by its own ``cluster(...)`` executor.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    capacity / start / spec_kwargs:
+        Forwarded to every shard the front-end builds itself (including
+        shards added later via :meth:`add_shard` without an explicit
+        service).
+
+    Examples
+    --------
+    >>> import numpy as np, repro
+    >>> rng = np.random.default_rng(0)
+    >>> svc = repro.ShardedSolverService(shards=2, algorithm="lupp", tile_size=8)
+    >>> a = rng.standard_normal((32, 32)) + 8.0 * np.eye(32)
+    >>> with svc:
+    ...     h = svc.register(a)
+    ...     x = svc.submit(h, rng.standard_normal(32)).result(timeout=60).x
+    >>> x.shape
+    (32,)
+    """
+
+    def __init__(
+        self,
+        shards: Union[int, Mapping[str, SolverService]] = 2,
+        *,
+        replicas: int = 64,
+        capacity: Optional[int] = 8,
+        start: bool = True,
+        **spec_kwargs: Any,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._ring = ConsistentHashRing(replicas=replicas)
+        self._shards: Dict[str, SolverService] = {}
+        self._handles: Dict[str, MatrixHandle] = {}
+        self._capacity = capacity
+        self._start = start
+        self._spec_kwargs = dict(spec_kwargs)
+        self._open = True
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError(f"need at least one shard, got {shards}")
+            members: Iterable[Tuple[str, Optional[SolverService]]] = (
+                (f"shard-{i}", None) for i in range(shards)
+            )
+        else:
+            if not shards:
+                raise ValueError("need at least one shard")
+            members = shards.items()
+        for name, service in members:
+            self.add_shard(name, service)
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_names(self) -> List[str]:
+        with self._lock:
+            return self._ring.members
+
+    def shard_name_for(self, key: str) -> str:
+        """The shard a fingerprint currently routes to."""
+        with self._lock:
+            return self._ring.node_for(key)
+
+    def shard_for(self, handle: Union[MatrixHandle, str]) -> SolverService:
+        key = handle.key if isinstance(handle, MatrixHandle) else str(handle)
+        with self._lock:
+            return self._shards[self._ring.node_for(key)]
+
+    def routes(self) -> Dict[str, str]:
+        """Current ``{fingerprint: shard name}`` of every registered handle."""
+        with self._lock:
+            return {key: self._ring.node_for(key) for key in self._handles}
+
+    def add_shard(
+        self, name: Optional[str] = None, service: Optional[SolverService] = None
+    ) -> List[str]:
+        """Add a shard; return the registered keys that re-routed onto it.
+
+        Rebalancing is implicit: the ring moves only the keys on the new
+        shard's arcs, and a moved key's next submit simply factors (or
+        cache-hits) on the new shard — results are identical wherever a
+        key lands, so no state migration is needed beyond cache warmth.
+        """
+        with self._lock:
+            if not self._open:
+                raise ServiceClosed("cannot add a shard to a shut-down service")
+            if name is None:
+                counter = len(self._shards)
+                while f"shard-{counter}" in self._shards:
+                    counter += 1
+                name = f"shard-{counter}"
+            if name in self._shards:
+                raise ValueError(f"shard {name!r} already exists")
+            before = (
+                {key: self._ring.node_for(key) for key in self._handles}
+                if len(self._ring)
+                else {}
+            )
+            if service is None:
+                service = SolverService(
+                    capacity=self._capacity, start=self._start, **self._spec_kwargs
+                )
+            self._shards[name] = service
+            self._ring.add(name)
+            return sorted(
+                key
+                for key in self._handles
+                if before.get(key) != self._ring.node_for(key)
+            )
+
+    def remove_shard(self, name: str, *, drain: bool = True) -> SolverService:
+        """Remove a shard and return it (shut down).
+
+        ``drain=True`` serves the shard's queued requests before it goes;
+        ``drain=False`` fails them immediately with a structured
+        :class:`ShardRemoved`.  Keys that routed to the shard re-route to
+        the survivors automatically (minimal movement), so resubmissions
+        of failed futures land on a live shard.
+        """
+        with self._lock:
+            if len(self._shards) <= 1:
+                raise ValueError("cannot remove the last shard")
+            try:
+                service = self._shards.pop(name)
+            except KeyError:
+                raise KeyError(f"unknown shard {name!r}") from None
+            self._ring.remove(name)
+        if drain:
+            service.shutdown(wait=True)
+        else:
+            service.shutdown(wait=False, error=ShardRemoved(name))
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def register(self, a: np.ndarray, *, warm: bool = False) -> MatrixHandle:
+        """Fingerprint ``a`` once; optionally pre-factor on its home shard."""
+        a = SolverSession._check_matrix(a).copy()
+        a.setflags(write=False)
+        handle = MatrixHandle(key=matrix_fingerprint(a), matrix=a)
+        with self._lock:
+            if not self._open:
+                raise ServiceClosed("cannot register on a shut-down service")
+            self._handles[handle.key] = handle
+        if warm:
+            self.shard_for(handle).session.warm(handle.matrix, key=handle.key)
+        return handle
+
+    def submit(self, a: Any, b: np.ndarray, *, priority: int = 0) -> SolveFuture:
+        """Route ``Ax = b`` to the owning shard; return its future."""
+        if not self._open:
+            raise ServiceClosed("cannot submit to a shut-down sharded service")
+        handle = a if isinstance(a, MatrixHandle) else self.register(a)
+        with self._lock:
+            self._handles.setdefault(handle.key, handle)
+            shard = self._shards[self._ring.node_for(handle.key)]
+        return shard.submit(handle, b, priority=priority)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ShardedStats:
+        """Aggregate per-shard stats: snapshot → merge → derive.
+
+        First pass takes an *atomic* snapshot per shard (each under that
+        shard's dispatch lock), the merge folds them into one total with
+        :meth:`ServiceStats.merge`, and derived metrics (``pending``)
+        recompute from the merged counters.
+        """
+        with self._lock:
+            shards = dict(self._shards)
+        per_shard = {name: svc.stats_snapshot() for name, svc in shards.items()}
+        total = ServiceStats()
+        for snap in per_shard.values():
+            total.merge(snap)
+        return ShardedStats(total=total, per_shard=per_shard)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        with self._lock:
+            shards = list(self._shards.values())
+        for service in shards:
+            service.drain(timeout)
+
+    def start(self) -> "ShardedSolverService":
+        with self._lock:
+            shards = list(self._shards.values())
+        for service in shards:
+            service.start()
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+        with self._lock:
+            self._open = False
+            shards = list(self._shards.values())
+        for service in shards:
+            service.shutdown(wait=wait, timeout=timeout)
+
+    def __enter__(self) -> "ShardedSolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return (
+            f"<ShardedSolverService {state} shards={self.shard_names} "
+            f"handles={len(self._handles)}>"
+        )

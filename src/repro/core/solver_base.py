@@ -283,16 +283,26 @@ class TiledSolverBase(ABC):
         # workers see (and mutate) the same bytes; the factors are copied
         # back out below so the returned Factorization owns plain arrays.
         shared: Optional[SharedTileBuffer] = None
+        distributed = False
         if getattr(self.executor, "uses_shared_tiles", False):
             shared = SharedTileBuffer.allocate(a_work, self.tile_size, rhs=b_work)
             tiles = shared.tile_matrix()
             self.executor.bind(shared.meta)
         else:
             tiles = TileMatrix.from_dense(a_work, self.tile_size, rhs=b_work)
+        dist = BlockCyclicDistribution(self.grid, tiles.n)
+        if shared is None and getattr(self.executor, "distributes_tiles", False):
+            # A distributed executor scatters the owned tiles to its worker
+            # nodes; the host-side TileMatrix stays the planning mirror (the
+            # sequential control layer reads panels between flushes) and
+            # receives every remote write back, so it always holds the
+            # factors once the pipeline drains.  Bind the raw tiles, before
+            # any instrumenting backend wraps them in proxy views.
+            self.executor.bind_tiles(tiles, dist)
+            distributed = True
         # Instrumenting backends (e.g. the access tracer) interpose proxied
         # tile views here; compute backends return the tiles unchanged.
         tiles = self.kernel_backend.prepare_tiles(tiles)
-        dist = BlockCyclicDistribution(self.grid, tiles.n)
         self._reset()
         self.step_traces = []
         self.step_graphs = []
@@ -339,6 +349,8 @@ class TiledSolverBase(ABC):
                     tiles = tiles.copy()  # move the factors out of shared memory
                     shared.close()
                     shared.unlink()
+                elif distributed:
+                    self.executor.unbind_tiles()
 
         if growth is not None and self._pipeline is not None:
             self._replay_growth(growth, len(steps))

@@ -50,6 +50,10 @@ class ExecutionTrace:
     kernel_of_task: Dict[int, str] = field(default_factory=dict)
     fused_of_task: Dict[int, int] = field(default_factory=dict)
     tile_norms: Dict[int, Dict[TileRef, float]] = field(default_factory=dict)
+    #: Logical (block-cyclic) rank each task executed under — recorded only
+    #: by distribution-aware executors, so owner-computes placement can be
+    #: asserted directly from the trace.
+    rank_of_task: Dict[int, int] = field(default_factory=dict)
     wall_time: float = 0.0
 
     @property

@@ -135,21 +135,48 @@ class Platform:
         return flops / self.kernel_rate(kernel)
 
     def transfer_time(self, nbytes: float) -> float:
-        """Time to ship ``nbytes`` between two different nodes."""
-        if nbytes <= 0.0:
+        """Time to ship a ``nbytes`` message between two different nodes.
+
+        Accepts the *actual* message sizes a distributed executor produces:
+        ``nbytes == 0`` is a pure control message (heartbeat, ack) costing
+        one latency, and any positive size — not just multiples of the
+        8-byte double-precision itemsize — is priced exactly.  Negative or
+        non-finite sizes are a caller bug and raise instead of silently
+        pricing as a control message.
+        """
+        import math
+
+        nbytes = float(nbytes)
+        if not math.isfinite(nbytes) or nbytes < 0.0:
+            raise ValueError(f"message size must be a finite >= 0 byte count, got {nbytes!r}")
+        if nbytes == 0.0:
             return self.latency
         return self.latency + nbytes / self.bandwidth
 
     def tile_bytes(self, nb: int, itemsize: float = 8.0) -> float:
         """Size in bytes of one ``nb x nb`` tile (double precision default)."""
+        if nb < 0:
+            raise ValueError(f"tile order must be >= 0, got {nb}")
+        if not itemsize > 0.0:
+            raise ValueError(f"itemsize must be positive, got {itemsize!r}")
         return float(itemsize) * nb * nb
 
     def allreduce_time(self, participants: int, nbytes: float) -> float:
-        """Cost of the criterion all-reduce among ``participants`` nodes."""
-        if participants <= 1:
-            return 0.0
+        """Cost of the criterion all-reduce among ``participants`` nodes.
+
+        Like :meth:`transfer_time`, takes exact payload sizes: a 0-byte
+        all-reduce (a barrier) costs only the latency rounds, and arbitrary
+        itemsizes are priced by the byte.
+        """
         import math
 
+        nbytes = float(nbytes)
+        if not math.isfinite(nbytes) or nbytes < 0.0:
+            raise ValueError(f"message size must be a finite >= 0 byte count, got {nbytes!r}")
+        if participants < 0:
+            raise ValueError(f"participants must be >= 0, got {participants}")
+        if participants <= 1:
+            return 0.0
         rounds = max(1.0, math.ceil(math.log2(participants)))
         return self.allreduce_latency_factor * rounds * self.latency + rounds * (
             nbytes / self.bandwidth

@@ -274,7 +274,14 @@ class StepPipeline:
         #: replay; only populated when ``submit`` is given the tiles.
         self.norm_samples: Dict[int, Dict[TileRef, float]] = {}
         self._pending: List[Tuple[int, KernelTask]] = []
-        self._shared_tiles = bool(getattr(executor, "uses_shared_tiles", False))
+        # Executors whose kernels run outside this process (shared-memory
+        # workers or distributed cluster nodes) must sample norms on the
+        # worker, via KernelCall.norm_tiles; in-process executors sample
+        # through a wrapped closure over the live tiles.
+        self._shared_tiles = bool(
+            getattr(executor, "uses_shared_tiles", False)
+            or getattr(executor, "distributes_tiles", False)
+        )
         self._lock = threading.Lock()
         self._failed = False
 
@@ -485,6 +492,8 @@ def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
             merged.fused_of_task[offset + uid] = m
         for uid, norms in tr.tile_norms.items():
             merged.tile_norms[offset + uid] = dict(norms)
+        for uid, rank in getattr(tr, "rank_of_task", {}).items():
+            merged.rank_of_task[offset + uid] = rank
         merged.wall_time += tr.wall_time
         # Advance past the largest uid seen, not the entry count: a partial
         # trace (errored/timed-out run) has non-contiguous uids, and a
@@ -498,6 +507,7 @@ def merge_traces(traces: Sequence[ExecutionTrace]) -> ExecutionTrace:
             | set(tr.kernel_of_task)
             | set(getattr(tr, "fused_of_task", ()))
             | set(tr.tile_norms)
+            | set(getattr(tr, "rank_of_task", ()))
         )
         offset += (max(seen) + 1) if seen else 0
     return merged

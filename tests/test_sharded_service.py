@@ -1,0 +1,284 @@
+"""Consistent-hash sharded serving front-end.
+
+Covers the ring's minimal-movement guarantee, fingerprint routing,
+first-pass/merge/second-pass stats aggregation, atomic stats snapshots,
+and the structured failure of futures queued on a shard that is removed
+mid-flight.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.service import ServiceClosed, ServiceStats, SolverService
+from repro.cluster import ConsistentHashRing, ShardedSolverService, ShardRemoved
+
+NB = 8
+N = 32
+SPEC = {"algorithm": "lupp", "tile_size": NB}
+
+
+def _matrix(rng, n=N):
+    return rng.standard_normal((n, n)) + 8.0 * np.eye(n)
+
+
+# --------------------------------------------------------------------- #
+# Consistent-hash ring
+# --------------------------------------------------------------------- #
+def test_ring_routes_deterministically():
+    ring = ConsistentHashRing(replicas=32)
+    for name in ("a", "b", "c"):
+        ring.add(name)
+    keys = [f"key-{i}" for i in range(200)]
+    first = {key: ring.node_for(key) for key in keys}
+    assert {first[k] for k in keys} == {"a", "b", "c"}  # all members used
+    assert all(ring.node_for(key) == first[key] for key in keys)
+
+
+def test_ring_add_moves_only_to_new_member():
+    ring = ConsistentHashRing(replicas=32)
+    for name in ("a", "b", "c"):
+        ring.add(name)
+    keys = [f"key-{i}" for i in range(300)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.add("d")
+    moved = 0
+    for key in keys:
+        after = ring.node_for(key)
+        if after != before[key]:
+            assert after == "d"  # minimal movement: only onto the new member
+            moved += 1
+    assert 0 < moved < len(keys)
+
+
+def test_ring_remove_moves_only_its_keys():
+    ring = ConsistentHashRing(replicas=32)
+    for name in ("a", "b", "c"):
+        ring.add(name)
+    keys = [f"key-{i}" for i in range(300)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove("b")
+    for key in keys:
+        if before[key] != "b":
+            assert ring.node_for(key) == before[key]
+        else:
+            assert ring.node_for(key) in ("a", "c")
+
+
+def test_ring_validation():
+    ring = ConsistentHashRing()
+    with pytest.raises(LookupError):
+        ring.node_for("anything")
+    ring.add("a")
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(KeyError):
+        ring.remove("missing")
+    with pytest.raises(ValueError):
+        ConsistentHashRing(replicas=0)
+
+
+# --------------------------------------------------------------------- #
+# Routing and serving
+# --------------------------------------------------------------------- #
+def test_sharded_service_routes_and_solves(rng):
+    with ShardedSolverService(shards=2, **SPEC) as service:
+        handles = [service.register(_matrix(rng)) for _ in range(6)]
+        futures, bs = [], []
+        for handle in handles:
+            b = rng.standard_normal(N)
+            bs.append(b)
+            # The shard chosen up front is the shard that serves it.
+            assert service.shard_name_for(handle.key) in service.shard_names
+            futures.append(service.submit(handle, b))
+        for handle, b, future in zip(handles, bs, futures):
+            x = future.result(timeout=120).x
+            assert np.linalg.norm(handle.matrix @ x - b) < 1e-6
+        routes = service.routes()
+        assert set(routes) == {h.key for h in handles}
+        service.drain(timeout=60)  # futures resolve before stats update
+        stats = service.stats()
+        assert stats.total.submitted == len(handles)
+        assert stats.total.completed == len(handles)
+        assert stats.total.pending == 0
+        assert sum(s.submitted for s in stats.per_shard.values()) == len(handles)
+        assert stats.shards == 2
+
+
+def test_sharded_results_match_single_service(rng):
+    a = _matrix(rng)
+    b = rng.standard_normal(N)
+    with SolverService(**SPEC) as single:
+        expected = single.submit(single.register(a), b).result(timeout=120).x
+    with ShardedSolverService(shards=3, **SPEC) as sharded:
+        got = sharded.submit(sharded.register(a), b).result(timeout=120).x
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_submit_raw_matrix_registers_on_the_fly(rng):
+    with ShardedSolverService(shards=2, **SPEC) as service:
+        a = _matrix(rng)
+        b = rng.standard_normal(N)
+        x = service.submit(a, b).result(timeout=120).x
+        assert np.linalg.norm(a @ x - b) < 1e-6
+        assert len(service.routes()) == 1
+
+
+def test_add_shard_reports_rebalanced_keys(rng):
+    service = ShardedSolverService(shards=2, start=False, **SPEC)
+    try:
+        handles = [service.register(_matrix(rng)) for _ in range(12)]
+        before = service.routes()
+        moved = service.add_shard("shard-extra")
+        after = service.routes()
+        assert set(moved) == {k for k in before if after[k] != before[k]}
+        for key in moved:
+            assert after[key] == "shard-extra"
+        # Unmoved keys keep their shard: minimal movement end to end.
+        for handle in handles:
+            if handle.key not in moved:
+                assert after[handle.key] == before[handle.key]
+    finally:
+        service.shutdown(wait=False)
+
+
+# --------------------------------------------------------------------- #
+# Shard removal mid-flight (satellite c)
+# --------------------------------------------------------------------- #
+def test_remove_shard_fails_only_its_queued_futures(rng):
+    """Undispatched futures on a removed shard fail with ShardRemoved;
+    futures on the surviving shards are untouched and still serve."""
+    shards = {
+        "left": SolverService(start=False, **SPEC),
+        "right": SolverService(start=False, **SPEC),
+    }
+    service = ShardedSolverService(shards=shards)
+    # Find handles on both sides of the ring.
+    by_shard = {"left": [], "right": []}
+    while not (by_shard["left"] and by_shard["right"]):
+        handle = service.register(_matrix(rng))
+        by_shard[service.shard_name_for(handle.key)].append(handle)
+
+    doomed = [service.submit(h, rng.standard_normal(N)) for h in by_shard["left"]]
+    safe_handle = by_shard["right"][0]
+    safe_b = rng.standard_normal(N)
+    safe = service.submit(safe_handle, safe_b)
+
+    removed = service.remove_shard("left", drain=False)
+    for future in doomed:
+        err = future.exception(timeout=10)
+        assert isinstance(err, ShardRemoved)
+        assert err.shard == "left"
+        assert isinstance(err, ServiceClosed)  # clients can catch either
+    assert not safe.done()
+
+    # The removed shard's keys re-route to the survivor and resubmission
+    # succeeds; the untouched future resolves once dispatch starts.
+    assert service.shard_name_for(by_shard["left"][0].key) == "right"
+    retry = service.submit(by_shard["left"][0], rng.standard_normal(N))
+    service.start()
+    assert retry.result(timeout=120) is not None
+    x = safe.result(timeout=120).x
+    assert np.linalg.norm(safe_handle.matrix @ x - safe_b) < 1e-6
+    assert removed.stats.failed == len(doomed)
+    service.shutdown()
+
+
+def test_cannot_remove_last_shard():
+    service = ShardedSolverService(shards=1, start=False, **SPEC)
+    try:
+        with pytest.raises(ValueError, match="last shard"):
+            service.remove_shard("shard-0")
+    finally:
+        service.shutdown(wait=False)
+
+
+def test_submit_after_shutdown_rejected(rng):
+    service = ShardedSolverService(shards=2, start=False, **SPEC)
+    service.shutdown(wait=False)
+    with pytest.raises(ServiceClosed):
+        service.submit(_matrix(rng), np.ones(N))
+
+
+# --------------------------------------------------------------------- #
+# Stats: merge semantics and atomic snapshots (satellite b)
+# --------------------------------------------------------------------- #
+def test_stats_merge_sums_and_maxima():
+    total = ServiceStats()
+    total.merge(ServiceStats(submitted=3, completed=2, failed=1, batches=2,
+                             max_batch_requests=4, max_batch_columns=7))
+    total.merge(ServiceStats(submitted=5, completed=5, batches=1,
+                             coalesced_batches=1, coalesced_requests=5,
+                             max_batch_requests=5, max_batch_columns=5))
+    assert total.submitted == 8
+    assert total.completed == 7
+    assert total.failed == 1
+    assert total.batches == 3
+    assert total.coalesced_requests == 5
+    assert total.max_batch_requests == 5
+    assert total.max_batch_columns == 7
+    assert total.pending == 0
+
+
+def test_stats_snapshot_is_atomic():
+    """Counters mutated together under the lock never tear in a snapshot."""
+    stats = ServiceStats()
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            with stats.lock:
+                stats.submitted += 1
+                stats.completed += 1
+
+    thread = threading.Thread(target=hammer, daemon=True)
+    thread.start()
+    try:
+        for _ in range(500):
+            snap = stats.snapshot()
+            # submitted and completed only ever move together under the
+            # lock, so an atomic snapshot must observe them equal.
+            assert snap.submitted == snap.completed
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+
+
+def test_service_snapshot_reflects_served_requests(rng):
+    with SolverService(**SPEC) as service:
+        handle = service.register(_matrix(rng))
+        futures = [service.submit(handle, rng.standard_normal(N)) for _ in range(4)]
+        for future in futures:
+            future.result(timeout=120)
+        service.drain(timeout=60)  # futures resolve before stats update
+        snap = service.stats_snapshot()
+        assert snap.submitted == 4
+        assert snap.completed == 4
+        assert snap.pending == 0
+        # The snapshot is a copy: later service activity does not mutate it.
+        service.submit(handle, rng.standard_normal(N)).result(timeout=120)
+        assert snap.submitted == 4
+
+
+def test_cluster_backed_shards_serve(rng):
+    """Shards can run on their own cluster executors end to end."""
+    executors = [repro.ClusterExecutor(workers=1) for _ in range(2)]
+    try:
+        shards = {
+            f"cluster-shard-{i}": SolverService(
+                executor=executors[i], grid="1x1", **SPEC
+            )
+            for i in range(2)
+        }
+        with ShardedSolverService(shards=shards) as service:
+            a = _matrix(rng)
+            b = rng.standard_normal(N)
+            x = service.submit(service.register(a), b).result(timeout=180).x
+            assert np.linalg.norm(a @ x - b) < 1e-6
+    finally:
+        for executor in executors:
+            executor.close()
